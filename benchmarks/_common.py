@@ -1,0 +1,42 @@
+"""Shared plumbing for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (see DESIGN.md §2's
+per-experiment index) by running the corresponding registry experiment,
+asserting its shape checks, persisting the rows under
+``benchmarks/results/`` and reporting wall time through
+pytest-benchmark.  ``pedantic(rounds=1)`` is used throughout: these are
+end-to-end experiment reproductions, not micro-benchmarks, and a single
+round is the honest unit.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.experiments import run_experiment
+from repro.experiments.base import ExperimentResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run_and_record(
+    benchmark, experiment_id: str, **overrides: Any
+) -> ExperimentResult:
+    """Run an experiment under pytest-benchmark and persist its rows."""
+    result = benchmark.pedantic(
+        lambda: run_experiment(experiment_id, **overrides),
+        rounds=1,
+        iterations=1,
+    )
+    result.save(RESULTS_DIR)
+    print()
+    print(result.table())
+    for note in result.notes:
+        print(f"note: {note}")
+    return result
+
+
+def rows_by(result: ExperimentResult, key: str) -> Dict[Any, dict]:
+    """Index result rows by a column for assertions."""
+    return {row[key]: row for row in result.rows}

@@ -1,0 +1,22 @@
+"""Benchmark ``bias-threshold``: the √(n log n) bias threshold.
+
+Paper artifact: the §1.1/§4 discussion of the required initial bias —
+O(√n) biases let minorities win with non-negligible probability, while
+Ω(√(n log n)) biases hand the majority the win w.h.p.
+"""
+
+from _common import run_and_record, rows_by
+
+
+def test_bias_threshold(benchmark):
+    result = run_and_record(benchmark, "bias-threshold")
+    for k in (2, 8):
+        k_rows = [row for row in result.rows if row["k"] == k]
+        by_label = {row["bias_label"]: row for row in k_rows}
+        # zero bias: essentially a fair draw among the (k) front-runners
+        assert by_label["0"]["majority_win_fraction"] < 0.8
+        # 2·√(n ln n): the majority should essentially always win
+        assert by_label["2·√(n·ln n)"]["majority_win_fraction"] > 0.9
+        # monotone trend across the grid (allowing small sampling dips)
+        fractions = [row["majority_win_fraction"] for row in k_rows]
+        assert fractions[-1] >= fractions[0] + 0.2

@@ -1,0 +1,64 @@
+"""Benchmark ``engine-throughput``: the methodology ablation.
+
+DESIGN.md's substitution argument rests on the τ-leaping batch engine
+agreeing with the exact engines while being fast enough for the paper's
+n = 10⁶ scale.  This module benchmarks (a) the end-to-end ablation
+experiment and (b) raw per-engine stepping throughput at the sizes each
+engine targets.
+"""
+
+import numpy as np
+from _common import run_and_record
+
+from repro import AgentEngine, BatchEngine, CountsEngine
+from repro.protocols import UndecidedStateDynamics
+from repro.workloads import paper_initial_configuration
+
+
+def test_engine_ablation(benchmark):
+    result = run_and_record(benchmark, "engine-throughput")
+    by_engine = {row["engine"]: row for row in result.rows}
+    exact = by_engine["counts"]["median_stab_time"]
+    for name in ("agent", "batch"):
+        deviation = abs(by_engine[name]["median_stab_time"] - exact) / exact
+        assert deviation < 0.4, f"{name} disagrees with exact engine by {deviation:.0%}"
+    # the batch engine must beat the exact counts engine by a wide margin
+    assert (
+        by_engine["batch"]["throughput_per_sec"]
+        > 5 * by_engine["counts"]["throughput_per_sec"]
+    )
+
+
+def _stepper(engine_cls, n, k, interactions, **kwargs):
+    protocol = UndecidedStateDynamics(k=k)
+    counts = protocol.encode_configuration(paper_initial_configuration(n, k))
+
+    def run():
+        engine = engine_cls(protocol, counts, seed=7, **kwargs)
+        engine.step(interactions)
+        return engine.counts
+
+    return run
+
+
+def test_agent_engine_throughput(benchmark):
+    counts = benchmark(_stepper(AgentEngine, 2_000, 5, 20_000))
+    assert counts.sum() == 2_000
+
+
+def test_counts_engine_throughput(benchmark):
+    counts = benchmark(_stepper(CountsEngine, 2_000, 5, 20_000))
+    assert counts.sum() == 2_000
+
+
+def test_batch_engine_throughput(benchmark):
+    counts = benchmark(_stepper(BatchEngine, 100_000, 11, 1_000_000))
+    assert counts.sum() == 100_000
+
+
+def test_batch_engine_epsilon_ablation(benchmark):
+    """Smaller ε costs proportionally more batches; document the knob."""
+    counts = benchmark(
+        _stepper(BatchEngine, 100_000, 11, 1_000_000, epsilon=0.0005)
+    )
+    assert counts.sum() == 100_000

@@ -1,0 +1,59 @@
+"""Benchmarks for the extension experiments.
+
+* ``fig1-ensemble`` — Figure 1's observations with error bars (the
+  "typical for many runs" claim of §2, made quantitative);
+* ``usd2-logn`` — the k = 2 Θ(log n) law (Clementi et al., §1.2);
+* ``graph-topology`` — USD under Angluin et al.'s graph-restricted
+  schedulers (the general model of §1 the clique analysis sits in).
+"""
+
+from _common import run_and_record
+
+
+def test_fig1_ensemble(benchmark):
+    result = run_and_record(benchmark, "fig1-ensemble")
+    row = result.rows[0]
+    assert row["majority_win_fraction"] >= 0.7
+    assert row["mean_u_plateau_dev_in_sqrt_nlogn"] < 5.0
+    # doubling consumes the bulk of the run on average, not just in the
+    # paper's single displayed trajectory
+    assert row["doubling_fraction_median"] is None or (
+        row["doubling_fraction_median"] > 0.4
+    )
+
+
+def test_usd2_logn(benchmark):
+    result = run_and_record(benchmark, "usd2-logn")
+    for row in result.rows:
+        assert row["censored_runs"] == 0
+        assert row["majority_won"] == 1.0
+        # Θ(log n): the ratio T/ln n stays within a narrow constant band
+        ratio = row["median_parallel_time"] / row["ln_n"]
+        assert 0.5 < ratio < 4.0
+        # trivial Ω(log n) bound (generous constant)
+        assert row["min_parallel_time"] > row["trivial_lb_ln_n"] / 4.0
+
+
+def test_graph_topology(benchmark):
+    result = run_and_record(benchmark, "graph-topology")
+    by_name = {row["topology"]: row for row in result.rows}
+    assert by_name["clique"]["stabilized_runs"] == 3
+    # expander ≈ clique (small constant), cycle ≫ clique
+    assert by_name["random-regular(8)"]["slowdown_vs_clique"] < 5.0
+    assert by_name["cycle"]["slowdown_vs_clique"] > 10.0
+
+
+def test_memory_usd(benchmark):
+    """§4 extension: hysteresis memory at sub-threshold bias."""
+    result = run_and_record(benchmark, "memory-usd")
+    by_r = {row["r"]: row for row in result.rows}
+    # memory must not hurt correctness at sub-threshold bias (fixed seeds)
+    max_r = max(by_r)
+    assert (
+        by_r[max_r]["majority_win_fraction"]
+        >= by_r[1]["majority_win_fraction"]
+    )
+    # and it costs time: median stabilization grows with r
+    assert (
+        by_r[max_r]["median_parallel_time"] > by_r[1]["median_parallel_time"]
+    )

@@ -1,0 +1,34 @@
+"""Benchmarks ``lem31-ceiling`` / ``lem33-growth`` / ``lem34-gap``.
+
+Paper artifacts: the quantitative statements of Lemmas 3.1, 3.3 and 3.4
+— the three pillars of the Theorem 3.5 induction.  Each benchmark runs
+the corresponding validation experiment at its default grid and asserts
+the lemma's direction on the measured data.
+"""
+
+from _common import run_and_record
+
+
+def test_lemma31_ceiling(benchmark):
+    """u(t) ≤ ũ + (20·132+1)·√(n log n) — and in fact O(1)·√(n log n)."""
+    result = run_and_record(benchmark, "lem31-ceiling")
+    for row in result.rows:
+        assert row["within_lemma"], f"ceiling violated at {row}"
+        assert row["max_exceedance_normalized"] < 5.0, (
+            "exceedance should be O(1) in √(n log n) units"
+        )
+
+
+def test_lemma33_growth(benchmark):
+    """Growing an opinion 3n/2k → 2n/k takes ≥ kn/25 interactions."""
+    result = run_and_record(benchmark, "lem33-growth")
+    for row in result.rows:
+        assert row["bound_holds"], f"kn/25 bound violated at {row}"
+
+
+def test_lemma34_gap_doubling(benchmark):
+    """Doubling the maximum pairwise gap takes ≥ kn/24 interactions."""
+    result = run_and_record(benchmark, "lem34-gap")
+    for row in result.rows:
+        assert row["alpha_window_valid"]
+        assert row["bound_holds"], f"kn/24 bound violated at {row}"

@@ -1,0 +1,27 @@
+"""Benchmark ``thm35-scaling``: the Theorem 3.5 / Amir et al. sandwich.
+
+Paper artifact: the main theorem's scaling claim — parallel
+stabilization time between Ω(k·log(√n/(k log n))) and O(k·log n).  At
+finite n the mechanism's doubling law k·log₂((n/k)/bias) is the
+informative shape; the benchmark asserts the explicit lower bound, the
+upper-bound consistency, and that the doubling law fits well.
+"""
+
+from _common import run_and_record
+
+
+def test_scaling_in_k(benchmark):
+    result = run_and_record(benchmark, "thm35-scaling")
+    for row in result.rows:
+        assert row["median_parallel_time"] >= row["paper_lower_bound"], (
+            f"explicit lower bound violated at k={row['k']}"
+        )
+        assert row["censored_runs"] == 0
+    notes = "\n".join(result.notes)
+    assert "respected at every k" in notes
+    assert "holds" in notes  # upper-shape consistency
+    # the doubling-law fit should explain most of the variance
+    assert any(
+        "doubling law" in note and "R² = 0.9" in note or "R² = 1." in note
+        for note in result.notes
+    ), f"doubling law fit poor: {result.notes}"

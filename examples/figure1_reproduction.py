@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Reproduce Figure 1 of the paper (both panels).
+
+Default scale is n = 10⁵ (seconds); pass ``--full`` for the paper's
+n = 10⁶ / k = 27 (still well under a minute thanks to the τ-leaping
+engine).  Prints the measured table, the shape-check notes, and ASCII
+renderings of both panels.
+
+Run:  python examples/figure1_reproduction.py [--full]
+"""
+
+import argparse
+
+from repro.experiments import Figure1Left, Figure1Right
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true", help="paper scale n = 1,000,000"
+    )
+    args = parser.parse_args()
+    overrides = {"n": 1_000_000} if args.full else {}
+
+    left = Figure1Left(**overrides).run()
+    print(left.table())
+    for note in left.notes:
+        print(f"note: {note}")
+    print()
+    print(Figure1Left.plot(left))
+
+    print()
+    right = Figure1Right(**overrides).run()
+    print(right.table())
+    for note in right.notes:
+        print(f"note: {note}")
+    print()
+    print(Figure1Right.plot(right))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Instantiate the Theorem 3.5 induction as a finite-n checklist.
+
+The paper's lower bound chains Lemma 3.1 (u-ceiling) → Lemma 3.3
+(opinion growth ≥ kn/25) → Lemma 3.4 (gap doubling ≥ kn/24) through
+ℓ_max gap-doubling epochs.  Every chaining step has explicit
+applicability conditions; this example evaluates all of them at
+concrete sizes and shows how the *certified* bound converges to the
+asymptotic one as n grows — and why, at simulable n, the measured
+stabilization times of `repro run thm35-scaling` sit far above the
+certified constants while following the same doubling mechanism.
+
+Run:  python examples/lower_bound_certificate.py
+"""
+
+from repro.io import format_table
+from repro.theory import certify_lower_bound
+
+
+def main() -> None:
+    print("=== Figure 1 scale: n = 10⁶, k = 27 ===")
+    certificate = certify_lower_bound(1e6, 27)
+    print(format_table(certificate.rows(), title="induction epochs"))
+    print(
+        f"certified epochs {certificate.certified_epochs} "
+        f"(asymptotic ℓ_max = {certificate.asymptotic_epochs:.2f}) — at this "
+        "size the explicit constants certify almost nothing: the bound is "
+        "asymptotic, and the *mechanism* (the doubling law) is what the "
+        "simulations validate.\n"
+    )
+
+    print("=== Deep in the regime: fixed k, growing n ===")
+    rows = []
+    k = 100
+    for exponent in (8, 10, 12, 14, 16, 18):
+        n = 10.0**exponent
+        certificate = certify_lower_bound(n, k)
+        rows.append(
+            {
+                "n": f"1e{exponent}",
+                "k": k,
+                "regime k·ln n/√n": certificate.regime_ratio,
+                "certified epochs": certificate.certified_epochs,
+                "asymptotic ℓ_max": certificate.asymptotic_epochs,
+                "certified parallel T": certificate.certified_parallel_time,
+            }
+        )
+    print(format_table(rows))
+    print(
+        "\nAt fixed k the regime ratio → 0 and the certified epoch count\n"
+        "converges to ℓ_max: the finite-n shadow of Ω(k·log(√n/(k log n))).\n"
+        "(Along the paper's maximal k(n) = √n/(log n·log log n) schedule the\n"
+        "log factor is log(log log n) by design — Figure 1 operates exactly\n"
+        "at the edge where the bound degenerates to Ω(k).)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Compare USD against the classic baselines on a binary contest.
+
+Runs, on the same biased two-opinion workload:
+
+* the Undecided State Dynamics (the paper's protocol, k = 2: this is
+  the classic 3-state approximate-majority protocol);
+* the voter model (no amplification: winner ≈ proportional draw);
+* the four-state exact-majority protocol (always correct, even at
+  bias 1).
+
+Reports winner correctness and stabilization time over a seed ensemble
+— the trade-off landscape the paper's related-work section describes.
+
+Run:  python examples/protocol_comparison.py
+"""
+
+import numpy as np
+
+from repro import Configuration, simulate
+from repro.io import format_table
+from repro.protocols import (
+    FourStateExactMajority,
+    UndecidedStateDynamics,
+    VoterModel,
+)
+
+
+def winner_of(protocol, result) -> int:
+    """Map a stabilized result onto side 1 / side 2 (0 = no winner)."""
+    if result.winner is not None:
+        return result.winner
+    outputs = {
+        protocol.output(state)
+        for state in np.flatnonzero(result.final_counts)
+    }
+    return outputs.pop() if len(outputs) == 1 else 0
+
+
+def main() -> None:
+    # The voter model needs Θ(n²) interactions to coalesce, so the
+    # cross-protocol contest runs at a deliberately small n.
+    n = 600
+    bias = 50  # ≈ 2·√n: enough for USD w.h.p., trivial for four-state
+    config = Configuration([n // 2 + bias // 2, n // 2 - bias // 2])
+    seeds = 12
+    print(f"workload: n={n}, supports {config.x(1)} vs {config.x(2)} (bias {bias})\n")
+
+    rows = []
+    for protocol in (
+        UndecidedStateDynamics(k=2),
+        VoterModel(k=2),
+        FourStateExactMajority(),
+    ):
+        times, correct = [], 0
+        for seed in range(seeds):
+            result = simulate(
+                protocol,
+                config,
+                engine="counts",
+                seed=seed,
+                max_parallel_time=100_000.0,
+            )
+            assert result.stabilized, f"{protocol.name} did not stabilize"
+            times.append(result.stabilization_parallel_time)
+            correct += winner_of(protocol, result) == 1
+        rows.append(
+            {
+                "protocol": protocol.name,
+                "states": protocol.num_states,
+                "correct": f"{correct}/{seeds}",
+                "median_T": float(np.median(times)),
+                "max_T": float(np.max(times)),
+            }
+        )
+    print(format_table(rows, title="binary majority: correctness and parallel time"))
+    print(
+        "\nUSD amplifies the bias quickly but can fail at small bias;\n"
+        "the voter model is a proportional lottery and Θ(n) slow;\n"
+        "four-state is always correct — the constant-state trade-off the\n"
+        "paper's related-work section surveys."
+    )
+
+
+if __name__ == "__main__":
+    main()

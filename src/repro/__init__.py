@@ -1,0 +1,111 @@
+"""repro — Undecided State Dynamics for plurality consensus, reproduced.
+
+A production-quality Python library reproducing *"An Almost Tight Lower
+Bound for Plurality Consensus with Undecided State Dynamics in the
+Population Protocol Model"* (El-Hayek, Elsässer, Schmid — PODC 2025):
+
+* :mod:`repro.core` — the population-protocol execution substrate
+  (configurations, protocols, three simulation engines);
+* :mod:`repro.protocols` — USD plus classic baselines;
+* :mod:`repro.gossip` — the synchronous Gossip model for comparison;
+* :mod:`repro.meanfield` — the fluid-limit ODEs and fixed points;
+* :mod:`repro.theory` — every bound, lemma constant and drift formula
+  of the paper in executable form;
+* :mod:`repro.workloads`, :mod:`repro.analysis`,
+  :mod:`repro.experiments` — the evaluation harness regenerating
+  Figure 1 and validating Lemmas 3.1/3.3/3.4 and Theorem 3.5.
+
+Quickstart
+----------
+>>> from repro import UndecidedStateDynamics, Configuration, simulate
+>>> protocol = UndecidedStateDynamics(k=8)
+>>> initial = Configuration.equal_minorities_with_bias(n=10_000, k=8, bias=700)
+>>> result = simulate(protocol, initial, seed=0, max_parallel_time=2_000)
+>>> result.winner
+1
+"""
+
+from .core import (
+    AgentEngine,
+    BatchEngine,
+    Configuration,
+    CountsEngine,
+    GraphPairScheduler,
+    OpinionProtocol,
+    PopulationProtocol,
+    RunResult,
+    Trace,
+    TrajectoryRecorder,
+    TransitionTable,
+    UniformPairScheduler,
+    make_engine,
+    simulate,
+    stopping,
+)
+from .errors import (
+    BatchSizeError,
+    ConfigurationError,
+    ExperimentError,
+    ProtocolError,
+    RegimeError,
+    ReproError,
+    SchedulerError,
+    SerializationError,
+    SimulationError,
+)
+from .protocols import (
+    FourStateExactMajority,
+    UndecidedStateDynamics,
+    VoterModel,
+)
+from .rng import derive_seed, make_rng, spawn, spawn_many
+from . import analysis, experiments, gossip, io, meanfield, theory, workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "AgentEngine",
+    "BatchEngine",
+    "Configuration",
+    "CountsEngine",
+    "GraphPairScheduler",
+    "OpinionProtocol",
+    "PopulationProtocol",
+    "RunResult",
+    "Trace",
+    "TrajectoryRecorder",
+    "TransitionTable",
+    "UniformPairScheduler",
+    "make_engine",
+    "simulate",
+    "stopping",
+    # protocols
+    "FourStateExactMajority",
+    "UndecidedStateDynamics",
+    "VoterModel",
+    # rng
+    "derive_seed",
+    "make_rng",
+    "spawn",
+    "spawn_many",
+    # errors
+    "BatchSizeError",
+    "ConfigurationError",
+    "ExperimentError",
+    "ProtocolError",
+    "RegimeError",
+    "ReproError",
+    "SchedulerError",
+    "SerializationError",
+    "SimulationError",
+    # subpackages
+    "analysis",
+    "experiments",
+    "gossip",
+    "io",
+    "meanfield",
+    "theory",
+    "workloads",
+]

@@ -1,0 +1,57 @@
+"""Analysis: ensemble statistics, trajectory post-processing, scaling fits."""
+
+from .ensembles import EnsembleBand, align_series, ensemble_band, trace_quantity
+from .scaling import (
+    CANDIDATE_LAWS,
+    ScalingComparison,
+    compare_scaling_laws,
+    law_table_rows,
+    law_value,
+)
+from .stabilization import StabilizationEnsemble, usd_stabilization_ensemble
+from .stats import (
+    LinearFit,
+    OnlineStats,
+    Summary,
+    bootstrap_ci,
+    fit_linear,
+    fit_proportional,
+    summarize,
+)
+from .trajectories import (
+    UndecidedExceedance,
+    doubling_time,
+    majority_minority_gap_series,
+    max_gap_series,
+    minority_band,
+    threshold_crossing_time,
+    undecided_exceedance,
+)
+
+__all__ = [
+    "CANDIDATE_LAWS",
+    "EnsembleBand",
+    "LinearFit",
+    "OnlineStats",
+    "ScalingComparison",
+    "StabilizationEnsemble",
+    "Summary",
+    "UndecidedExceedance",
+    "align_series",
+    "bootstrap_ci",
+    "compare_scaling_laws",
+    "doubling_time",
+    "ensemble_band",
+    "trace_quantity",
+    "fit_linear",
+    "fit_proportional",
+    "law_table_rows",
+    "law_value",
+    "majority_minority_gap_series",
+    "max_gap_series",
+    "minority_band",
+    "summarize",
+    "threshold_crossing_time",
+    "undecided_exceedance",
+    "usd_stabilization_ensemble",
+]

@@ -1,0 +1,121 @@
+"""Stabilization-time measurement over seed ensembles.
+
+The paper's statements are w.h.p. statements over the scheduler's
+randomness; empirically we run independent seeds and report the
+ensemble of stabilization times (in parallel-time units), the winner
+distribution, and censoring information when a horizon was hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..core.configuration import Configuration
+from ..core.run import simulate
+from ..errors import ExperimentError
+from ..protocols.usd import UndecidedStateDynamics
+from ..rng import derive_seed
+from ..types import SeedLike
+from .stats import Summary, summarize
+
+__all__ = ["StabilizationEnsemble", "usd_stabilization_ensemble"]
+
+
+@dataclass(frozen=True)
+class StabilizationEnsemble:
+    """Stabilization statistics over independent seeds.
+
+    Attributes
+    ----------
+    times:
+        Parallel stabilization times of the runs that stabilized.
+    winners:
+        Winning opinion per stabilized run (0 encodes the all-undecided
+        absorption, which has no winner).
+    censored:
+        Runs that hit the horizon without stabilizing.
+    horizon_parallel_time:
+        The per-run horizon.
+    params:
+        The ensemble's parameters (n, k, bias, engine, ...).
+    """
+
+    times: np.ndarray
+    winners: np.ndarray
+    censored: int
+    horizon_parallel_time: float
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def runs(self) -> int:
+        """Total number of runs in the ensemble."""
+        return int(self.times.size) + self.censored
+
+    @property
+    def majority_win_fraction(self) -> float:
+        """Fraction of *all* runs in which opinion 1 won."""
+        if self.runs == 0:
+            return 0.0
+        return float(np.sum(self.winners == 1)) / self.runs
+
+    def summary(self) -> Summary:
+        """Summary statistics of the stabilized runs' parallel times."""
+        if self.times.size == 0:
+            raise ExperimentError("no run stabilized within the horizon")
+        return summarize(self.times)
+
+
+def usd_stabilization_ensemble(
+    initial: Configuration,
+    *,
+    num_seeds: int = 10,
+    seed: SeedLike = 0,
+    engine: str = "auto",
+    max_parallel_time: float = 10_000.0,
+    snapshot_every: Optional[int] = None,
+    extra_params: Optional[Dict[str, Any]] = None,
+) -> StabilizationEnsemble:
+    """Run USD from ``initial`` under ``num_seeds`` independent seeds.
+
+    Each run uses :func:`repro.rng.derive_seed` so any individual run
+    can be replayed from the stored root seed and its index.
+    """
+    if num_seeds < 1:
+        raise ExperimentError(f"num_seeds must be >= 1, got {num_seeds}")
+    protocol = UndecidedStateDynamics(k=initial.k)
+    times: List[float] = []
+    winners: List[int] = []
+    censored = 0
+    for index in range(num_seeds):
+        result = simulate(
+            protocol,
+            initial,
+            engine=engine,
+            seed=derive_seed(seed, index),
+            max_parallel_time=max_parallel_time,
+            snapshot_every=snapshot_every,
+        )
+        if result.stabilized and result.stabilization_parallel_time is not None:
+            times.append(result.stabilization_parallel_time)
+            winners.append(result.winner if result.winner is not None else 0)
+        else:
+            censored += 1
+    params = {
+        "n": initial.n,
+        "k": initial.k,
+        "bias": initial.bias(),
+        "engine": engine,
+        "num_seeds": num_seeds,
+        "root_seed": seed if isinstance(seed, int) else None,
+        **(extra_params or {}),
+    }
+    return StabilizationEnsemble(
+        times=np.asarray(times, dtype=float),
+        winners=np.asarray(winners, dtype=np.int64),
+        censored=censored,
+        horizon_parallel_time=float(max_parallel_time),
+        params=params,
+    )

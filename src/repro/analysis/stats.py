@@ -1,0 +1,196 @@
+"""Summary statistics for seed ensembles.
+
+Small, dependency-light statistical helpers: summaries with normal and
+bootstrap confidence intervals, an online (Welford) accumulator for
+streaming measurements, and least-squares fits used by the scaling
+analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..rng import make_rng
+from ..types import SeedLike
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "bootstrap_ci",
+    "OnlineStats",
+    "LinearFit",
+    "fit_linear",
+    "fit_proportional",
+]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample.
+
+    Attributes
+    ----------
+    count, mean, std, minimum, median, maximum:
+        The obvious sample statistics (``std`` with ``ddof=1``).
+    ci_low, ci_high:
+        Normal-approximation 95% confidence interval for the mean.
+    """
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarise a non-empty sample."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ReproError("cannot summarise an empty sample")
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    half_width = 1.96 * std / np.sqrt(arr.size) if arr.size > 1 else 0.0
+    mean = float(arr.mean())
+    return Summary(
+        count=int(arr.size),
+        mean=mean,
+        std=std,
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        maximum=float(arr.max()),
+        ci_low=mean - half_width,
+        ci_high=mean + half_width,
+    )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: SeedLike = None,
+) -> Tuple[float, float]:
+    """Percentile bootstrap confidence interval for ``statistic``."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ReproError("cannot bootstrap an empty sample")
+    if not 0 < confidence < 1:
+        raise ReproError(f"confidence must be in (0, 1), got {confidence}")
+    rng = make_rng(seed)
+    indices = rng.integers(0, arr.size, size=(resamples, arr.size))
+    stats = np.apply_along_axis(statistic, 1, arr[indices])
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(stats, alpha)),
+        float(np.quantile(stats, 1.0 - alpha)),
+    )
+
+
+class OnlineStats:
+    """Welford's streaming mean/variance accumulator."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def push(self, value: float) -> None:
+        """Incorporate one observation."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def count(self) -> int:
+        """Number of observations so far."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Running mean (0.0 before any observation)."""
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two observations)."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return float(np.sqrt(self.variance))
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares line ``y ≈ slope·x + intercept``.
+
+    Attributes
+    ----------
+    slope, intercept:
+        Fitted coefficients.
+    r_squared:
+        Coefficient of determination on the fitted data.
+    """
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted line."""
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+
+def fit_linear(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Ordinary least squares with intercept."""
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.size != y_arr.size or x_arr.size < 2:
+        raise ReproError("fit_linear needs two same-length samples of size >= 2")
+    slope, intercept = np.polyfit(x_arr, y_arr, 1)
+    return LinearFit(
+        slope=float(slope),
+        intercept=float(intercept),
+        r_squared=_r_squared(y_arr, slope * x_arr + intercept),
+    )
+
+
+def fit_proportional(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Least squares through the origin: ``y ≈ c·x``.
+
+    Used to fit the unknown leading constants of asymptotic laws
+    (e.g. ``T ≈ c · k log n``).
+    """
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.size != y_arr.size or x_arr.size < 1:
+        raise ReproError("fit_proportional needs two same-length non-empty samples")
+    denominator = float(np.dot(x_arr, x_arr))
+    if denominator == 0:
+        raise ReproError("cannot fit a proportional law to all-zero x")
+    slope = float(np.dot(x_arr, y_arr)) / denominator
+    return LinearFit(
+        slope=slope,
+        intercept=0.0,
+        r_squared=_r_squared(y_arr, slope * x_arr),
+    )
+
+
+def _r_squared(y: np.ndarray, predicted: np.ndarray) -> float:
+    residual = float(np.sum((y - predicted) ** 2))
+    total = float(np.sum((y - y.mean()) ** 2))
+    if total == 0:
+        return 1.0 if residual == 0 else 0.0
+    return 1.0 - residual / total

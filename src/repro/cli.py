@@ -1,0 +1,181 @@
+"""Command-line front-end: ``repro`` / ``python -m repro``.
+
+Subcommands
+-----------
+``repro list``
+    Show every registered experiment id with its title.
+``repro run <id> [--set name=value ...] [--out DIR] [--no-plots]``
+    Run one experiment (or ``all``) and print its report; optionally
+    persist rows/series under ``--out``.
+``repro fig1 [--full] [--panel left|right]``
+    Shortcut for the Figure 1 reproduction (``--full`` uses the paper's
+    n = 10⁶ instead of the default 10⁵).
+
+Parameter overrides use ``--set name=value`` with values parsed as
+Python literals, e.g. ``--set n=200000 --set k_values=(8,16)``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from .errors import ReproError
+from .experiments import get_experiment, list_experiments, render_result
+from .experiments.registry import EXPERIMENTS
+
+__all__ = ["main", "build_parser", "parse_overrides"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction suite for 'An Almost Tight Lower Bound for Plurality "
+            "Consensus with Undecided State Dynamics in the Population Protocol "
+            "Model' (PODC 2025)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list registered experiments")
+
+    run = commands.add_parser("run", help="run one experiment by id (or 'all')")
+    run.add_argument("experiment_id", help="experiment id from 'repro list', or 'all'")
+    run.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="override an experiment parameter (Python-literal value)",
+    )
+    run.add_argument("--out", type=Path, default=None, help="directory for artifacts")
+    run.add_argument(
+        "--no-plots", action="store_true", help="suppress ASCII plots in the report"
+    )
+
+    fig1 = commands.add_parser("fig1", help="reproduce Figure 1")
+    fig1.add_argument(
+        "--full",
+        action="store_true",
+        help="paper scale n = 1,000,000 (default: 100,000)",
+    )
+    fig1.add_argument(
+        "--panel", choices=("left", "right", "both"), default="both"
+    )
+    fig1.add_argument("--out", type=Path, default=None, help="directory for artifacts")
+
+    certify = commands.add_parser(
+        "certify",
+        help="instantiate the Theorem 3.5 induction at concrete (n, k, bias)",
+    )
+    certify.add_argument("--n", type=float, required=True, help="population size")
+    certify.add_argument("--k", type=float, required=True, help="number of opinions")
+    certify.add_argument(
+        "--bias",
+        type=float,
+        default=None,
+        help="initial bias (default: the paper's cap f(n)·√(n log n))",
+    )
+    return parser
+
+
+def parse_overrides(pairs: Sequence[str]) -> Dict[str, Any]:
+    """Parse ``name=value`` strings; values are Python literals.
+
+    Bare words that fail literal parsing are kept as strings, so
+    ``--set engine=batch`` works without quoting gymnastics.
+    """
+    overrides: Dict[str, Any] = {}
+    for pair in pairs:
+        name, separator, raw = pair.partition("=")
+        if not separator or not name:
+            raise ReproError(f"override {pair!r} is not of the form name=value")
+        try:
+            overrides[name] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            overrides[name] = raw
+    return overrides
+
+
+def _run_one(
+    experiment_id: str,
+    overrides: Dict[str, Any],
+    out: Optional[Path],
+    plots: bool,
+) -> None:
+    experiment = get_experiment(experiment_id)(**overrides)
+    result = experiment.run()
+    print(render_result(result, plots=plots))
+    if out is not None:
+        for path in result.save(out):
+            print(f"wrote {path}")
+
+
+def _print_certificate(n: float, k: float, bias: Optional[float]) -> None:
+    from .io.tables import format_table
+    from .theory.certificate import certify_lower_bound
+
+    certificate = certify_lower_bound(n, k, bias)
+    print(
+        f"Theorem 3.5 certificate at n = {certificate.n:g}, "
+        f"k = {certificate.k:g}, bias = {certificate.bias:g}"
+    )
+    print(f"regime ratio k·log n/√n = {certificate.regime_ratio:.4f} (needs ≪ 1)")
+    print(f"Lemma 3.1 ceiling on u(t): {certificate.u_ceiling:,.0f} (+ slack)")
+    print(
+        f"Lemma 3.3 walk condition: {'holds' if certificate.lemma33_condition else 'FAILS'}"
+    )
+    print()
+    print(format_table(certificate.rows(), title="induction epochs"))
+    print()
+    print(
+        f"certified epochs: {certificate.certified_epochs} "
+        f"(asymptotic ℓ_max = {certificate.asymptotic_epochs:.2f})"
+    )
+    print(
+        f"certified lower bound: {certificate.certified_interactions:,.0f} "
+        f"interactions = {certificate.certified_parallel_time:.2f} parallel time"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            for line in list_experiments():
+                print(line)
+        elif args.command == "run":
+            overrides = parse_overrides(args.overrides)
+            if args.experiment_id == "all":
+                for experiment_id in sorted(EXPERIMENTS):
+                    print(f"=== {experiment_id} ===")
+                    _run_one(experiment_id, overrides, args.out, not args.no_plots)
+                    print()
+            else:
+                _run_one(
+                    args.experiment_id, overrides, args.out, not args.no_plots
+                )
+        elif args.command == "fig1":
+            overrides = {"n": 1_000_000} if args.full else {}
+            panels = ("fig1-left", "fig1-right")
+            if args.panel == "left":
+                panels = ("fig1-left",)
+            elif args.panel == "right":
+                panels = ("fig1-right",)
+            for panel in panels:
+                _run_one(panel, overrides, args.out, plots=True)
+                print()
+        elif args.command == "certify":
+            _print_certificate(args.n, args.k, args.bias)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0

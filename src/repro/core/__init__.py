@@ -1,0 +1,34 @@
+"""Core execution substrate: configurations, protocols, engines, runs."""
+
+from .agent_engine import AgentEngine
+from .batch_engine import BatchEngine
+from .configuration import Configuration
+from .counts_engine import CountsEngine
+from .engine import BaseEngine
+from .protocol import OpinionProtocol, PopulationProtocol
+from .recorder import Trace, TrajectoryRecorder
+from .run import AUTO_ENGINE_COUNTS_LIMIT, RunResult, make_engine, simulate
+from .scheduler import GraphPairScheduler, PairScheduler, UniformPairScheduler
+from .transitions import TransitionTable
+from . import stopping
+
+__all__ = [
+    "AgentEngine",
+    "BatchEngine",
+    "BaseEngine",
+    "Configuration",
+    "CountsEngine",
+    "GraphPairScheduler",
+    "OpinionProtocol",
+    "PairScheduler",
+    "PopulationProtocol",
+    "RunResult",
+    "Trace",
+    "TrajectoryRecorder",
+    "TransitionTable",
+    "UniformPairScheduler",
+    "AUTO_ENGINE_COUNTS_LIMIT",
+    "make_engine",
+    "simulate",
+    "stopping",
+]

@@ -1,0 +1,137 @@
+"""τ-leaping batch engine for large populations.
+
+Simulating Figure 1 of the paper takes ~9·10⁷ interactions at
+n = 10⁶ — far beyond what per-interaction simulation can do in Python.
+This engine uses τ-leaping, the standard accelerator for exactly this
+kind of chemical-reaction-network dynamics (the paper itself notes the
+CRN connection of population protocols):
+
+1. freeze the current counts for a batch of ``B`` interactions;
+2. draw the number of *effective* interactions ``m ~ Binomial(B, p)``,
+   where ``p`` is the per-interaction effective probability;
+3. split ``m`` over the effective ordered pairs with a multinomial in
+   their exact (frozen-counts) proportions;
+4. apply the summed net delta in one integer mat-vec.
+
+Freezing introduces an O(B/n) modelling error per batch; with the
+default ``epsilon = B/n = 0.002`` the drift and diffusion of the counts
+are reproduced to a fraction of a percent, which the equivalence tests
+verify statistically against the exact engines.  A batch whose sampled
+delta would drive a count negative is rejected and retried with half
+the batch size (never biasing the sign of the drift by clamping);
+``B = 1`` reproduces the exact single-interaction distribution, so the
+retry loop always terminates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import BatchSizeError, SimulationError
+from ..types import SeedLike
+from .engine import BaseEngine
+from .protocol import PopulationProtocol
+
+__all__ = ["BatchEngine"]
+
+#: Default cap on the batch size as a fraction of the population.
+DEFAULT_EPSILON = 0.002
+
+
+class BatchEngine(BaseEngine):
+    """Approximate (τ-leaping) simulator over state counts.
+
+    Parameters
+    ----------
+    protocol, counts, seed:
+        As for :class:`repro.core.engine.BaseEngine`.
+    epsilon:
+        Target batch size as a fraction of ``n``.  Smaller is more
+        accurate and slower; ``epsilon * n < 1`` degenerates into exact
+        single-interaction sampling.
+    """
+
+    engine_name = "batch"
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        counts: np.ndarray,
+        seed: SeedLike = None,
+        epsilon: float = DEFAULT_EPSILON,
+    ):
+        super().__init__(protocol, counts, seed)
+        if not 0 < epsilon <= 1:
+            raise SimulationError(f"epsilon must be in (0, 1], got {epsilon}")
+        self._epsilon = float(epsilon)
+        self._nominal_batch = max(1, int(round(epsilon * self._n)))
+        self._batch = self._nominal_batch
+        table = self._table
+        pairs = table.effective_pairs
+        self._eff_a = np.array([a for a, _ in pairs], dtype=np.int64)
+        self._eff_b = np.array([b for _, b in pairs], dtype=np.int64)
+        self._eff_same = (self._eff_a == self._eff_b).astype(np.int64)
+        rows = self._eff_a * table.num_states + self._eff_b
+        self._eff_delta = table.delta_matrix[rows]  # E×S
+        self._pair_denominator = float(self._n) * float(self._n - 1)
+
+    @property
+    def epsilon(self) -> float:
+        """Configured batch-size fraction."""
+        return self._epsilon
+
+    @property
+    def nominal_batch_size(self) -> int:
+        """Batch size used when no rejections force it down."""
+        return self._nominal_batch
+
+    def _step_impl(self, num: int) -> None:
+        remaining = num
+        rng = self._rng
+        while remaining > 0:
+            weights = self._counts[self._eff_a] * (
+                self._counts[self._eff_b] - self._eff_same
+            )
+            total = float(weights.sum())
+            if total == 0.0:
+                self._absorbed = True
+                self._interactions += remaining
+                return
+            p_effective = min(1.0, total / self._pair_denominator)
+            batch = min(self._batch, remaining)
+            applied = self._attempt_batch(rng, batch, weights, total, p_effective)
+            self._interactions += applied
+            remaining -= applied
+            # Recover towards the nominal batch size after successes so a
+            # one-off rejection near a small count does not slow the rest
+            # of the run.
+            if self._batch < self._nominal_batch:
+                self._batch = min(self._nominal_batch, self._batch * 2)
+
+    def _attempt_batch(
+        self,
+        rng: np.random.Generator,
+        batch: int,
+        weights: np.ndarray,
+        total: float,
+        p_effective: float,
+    ) -> int:
+        """Sample one batch, halving on negativity rejection; return its size."""
+        probabilities = weights / total
+        while True:
+            if batch < 1:  # pragma: no cover - defensive; B=1 cannot reject
+                raise BatchSizeError("batch size collapsed below one interaction")
+            effective = int(rng.binomial(batch, p_effective))
+            if effective == 0:
+                return batch
+            pair_counts = rng.multinomial(effective, probabilities)
+            delta = pair_counts @ self._eff_delta
+            candidate = self._counts + delta
+            if np.any(candidate < 0):
+                batch = max(1, batch // 2)
+                self._batch = batch
+                continue
+            self._counts = candidate
+            if np.any(delta != 0):
+                self._last_change = self._interactions + batch
+            return batch

@@ -1,0 +1,101 @@
+"""Exact counts-level engine with geometric null-skipping.
+
+Under the uniform clique scheduler the state-count vector is a
+sufficient statistic: the next interaction's ordered state pair
+``(a, b)`` has probability ``c_a (c_b - [a = b]) / (n (n - 1))``
+regardless of which individual agents hold those states.  This engine
+therefore simulates counts directly and, crucially, skips *null*
+interactions (pairs the protocol maps to themselves) in closed form:
+
+* with the configuration fixed, each interaction is *effective* with
+  probability ``p = W / (n (n - 1))`` where ``W`` sums the weights of
+  the non-null ordered pairs;
+* the number of interactions up to and including the next effective one
+  is ``Geometric(p)``, so we draw the gap in O(1) and then sample which
+  effective pair fired, proportional to its weight.
+
+Both steps follow the exact conditional distributions, so trajectories
+have *exactly* the law of the agent-level model (see
+``tests/test_engine_equivalence.py``).  The speed-up is modest while
+half of all interactions are effective (mid-run USD) and dramatic near
+absorption, where almost every interaction is null.
+
+The engine also knows the exact interaction index of every change, so
+stabilization times are measured with single-interaction resolution,
+independent of the snapshot cadence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import SeedLike
+from .engine import BaseEngine
+from .protocol import PopulationProtocol
+
+__all__ = ["CountsEngine"]
+
+
+class CountsEngine(BaseEngine):
+    """Exact simulator over state counts (uniform clique scheduler only)."""
+
+    engine_name = "counts"
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        counts: np.ndarray,
+        seed: SeedLike = None,
+    ):
+        super().__init__(protocol, counts, seed)
+        table = self._table
+        pairs = table.effective_pairs
+        self._eff_a = np.array([a for a, _ in pairs], dtype=np.int64)
+        self._eff_b = np.array([b for _, b in pairs], dtype=np.int64)
+        self._eff_same = (self._eff_a == self._eff_b).astype(np.int64)
+        # Sparse per-pair deltas: (states, changes) arrays per effective pair.
+        self._eff_deltas = []
+        for a, b in pairs:
+            row = table.delta_matrix[a * table.num_states + b]
+            touched = np.flatnonzero(row)
+            self._eff_deltas.append((touched, row[touched]))
+        self._pair_denominator = float(self._n) * float(self._n - 1)
+
+    def _effective_weights(self) -> np.ndarray:
+        """Weight ``c_a (c_b - [a = b])`` of each effective ordered pair."""
+        counts = self._counts
+        return counts[self._eff_a] * (counts[self._eff_b] - self._eff_same)
+
+    def effective_probability(self) -> float:
+        """Probability that the *next* interaction changes the configuration."""
+        weights = self._effective_weights()
+        return float(weights.sum()) / self._pair_denominator
+
+    def _step_impl(self, num: int) -> None:
+        target = self._interactions + num
+        rng = self._rng
+        while self._interactions < target:
+            weights = self._effective_weights()
+            total = int(weights.sum())
+            if total == 0:
+                # Every remaining interaction is null: the configuration
+                # is absorbing and time just rolls forward.
+                self._absorbed = True
+                self._interactions = target
+                return
+            p_effective = total / self._pair_denominator
+            gap = int(rng.geometric(p_effective))
+            if self._interactions + gap > target:
+                # No effective interaction inside this step() call; by
+                # memorylessness of the geometric the truncation is exact.
+                self._interactions = target
+                return
+            self._interactions += gap
+            pick = int(
+                np.searchsorted(
+                    np.cumsum(weights), rng.integers(0, total), side="right"
+                )
+            )
+            touched, changes = self._eff_deltas[pick]
+            self._counts[touched] += changes
+            self._last_change = self._interactions

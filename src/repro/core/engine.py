@@ -1,0 +1,202 @@
+"""Shared machinery of the three simulation engines.
+
+All engines present one API: they are constructed from a protocol and a
+state-count vector, :meth:`BaseEngine.step` advances an exact number of
+*interactions* (null interactions count, as in the paper's time
+measure), and :meth:`BaseEngine.run` drives chunked execution with
+recording and stopping conditions.
+
+Engines differ only in *how* they advance:
+
+* :class:`repro.core.agent_engine.AgentEngine` — per-agent reference
+  implementation (exact, slow);
+* :class:`repro.core.counts_engine.CountsEngine` — exact counts-level
+  simulation with closed-form skipping of null interactions;
+* :class:`repro.core.batch_engine.BatchEngine` — τ-leaping
+  approximation for large populations.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..rng import make_rng
+from ..types import SeedLike, StopPredicate, as_int_vector
+from .configuration import Configuration
+from .protocol import PopulationProtocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .recorder import TrajectoryRecorder
+
+__all__ = ["BaseEngine"]
+
+
+class BaseEngine(abc.ABC):
+    """Common state and control flow for all engines.
+
+    Parameters
+    ----------
+    protocol:
+        The population protocol to execute.
+    counts:
+        Initial state-count vector of length ``protocol.num_states``.
+        Opinion-level callers should go through
+        :func:`repro.core.run.simulate`, which encodes a
+        :class:`Configuration` first.
+    seed:
+        Seed for the engine's private random stream.
+    """
+
+    #: Engine identifier used in results and the CLI.
+    engine_name: str = "base"
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        counts: np.ndarray,
+        seed: SeedLike = None,
+    ):
+        vec = as_int_vector(counts)
+        if vec.size != protocol.num_states:
+            raise SimulationError(
+                f"counts length {vec.size} does not match protocol alphabet "
+                f"size {protocol.num_states}"
+            )
+        if np.any(vec < 0):
+            raise SimulationError("initial counts must be non-negative")
+        n = int(vec.sum())
+        if n < 2:
+            raise SimulationError(f"population needs at least 2 agents, got {n}")
+        self._protocol = protocol
+        self._table = protocol.table
+        self._counts = vec
+        self._n = n
+        self._rng = make_rng(seed)
+        self._interactions = 0
+        self._last_change: Optional[int] = None
+        self._absorbed = protocol.is_absorbing(vec)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def protocol(self) -> PopulationProtocol:
+        """The protocol being executed."""
+        return self._protocol
+
+    @property
+    def n(self) -> int:
+        """Population size."""
+        return self._n
+
+    @property
+    def counts(self) -> np.ndarray:
+        """A copy of the current state-count vector."""
+        return self._counts.copy()
+
+    @property
+    def interactions(self) -> int:
+        """Total interactions executed so far (null interactions included)."""
+        return self._interactions
+
+    @property
+    def parallel_time(self) -> float:
+        """Interactions divided by ``n`` — the paper's parallel time."""
+        return self._interactions / self._n
+
+    @property
+    def is_absorbed(self) -> bool:
+        """Whether the configuration can never change again.
+
+        Engines flip this flag as soon as they can determine it cheaply;
+        it is always sound (never ``True`` for a live configuration) and,
+        for the counts/batch engines, also complete.
+        """
+        return self._absorbed
+
+    @property
+    def last_change_interaction(self) -> Optional[int]:
+        """Interaction index of the most recent configuration change.
+
+        For an absorbed run this is the stabilization time.  The counts
+        engine reports it exactly; the agent engine exactly; the batch
+        engine at batch resolution (the end of the changing batch).
+        ``None`` means the configuration has not changed yet.
+        """
+        return self._last_change
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The engine's random stream (exposed for reproducibility tooling)."""
+        return self._rng
+
+    def as_configuration(self) -> Configuration:
+        """Decode current counts into an opinion-level configuration.
+
+        Only meaningful for protocols that define
+        :meth:`PopulationProtocol.decode_counts`.
+        """
+        return self._protocol.decode_counts(self._counts)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self, num: int = 1) -> None:
+        """Execute exactly ``num`` further interactions."""
+        if num < 0:
+            raise SimulationError(f"cannot step a negative number ({num}) of interactions")
+        if num == 0:
+            return
+        if self._absorbed:
+            self._interactions += num
+            return
+        self._step_impl(num)
+
+    @abc.abstractmethod
+    def _step_impl(self, num: int) -> None:
+        """Engine-specific advancement of exactly ``num`` interactions."""
+
+    def run(
+        self,
+        max_interactions: int,
+        *,
+        stop: Optional[StopPredicate] = None,
+        snapshot_every: Optional[int] = None,
+        recorder: Optional["TrajectoryRecorder"] = None,
+    ) -> None:
+        """Advance until ``max_interactions``, absorption, or ``stop`` fires.
+
+        ``snapshot_every`` controls both the recording cadence and the
+        granularity at which ``stop`` is evaluated; it defaults to half a
+        parallel round (``n // 2`` interactions).
+        """
+        if max_interactions < self._interactions:
+            raise SimulationError(
+                "max_interactions lies in the past "
+                f"({max_interactions} < {self._interactions})"
+            )
+        chunk = snapshot_every if snapshot_every is not None else max(1, self._n // 2)
+        if chunk < 1:
+            raise SimulationError(f"snapshot_every must be >= 1, got {chunk}")
+        if recorder is not None and self._interactions == 0:
+            recorder.record(self)
+        while self._interactions < max_interactions:
+            self.step(min(chunk, max_interactions - self._interactions))
+            if recorder is not None:
+                recorder.record(self)
+            if self._absorbed:
+                break
+            if stop is not None and stop(self):
+                break
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(protocol={self._protocol.name!r}, n={self._n}, "
+            f"interactions={self._interactions})"
+        )

@@ -1,0 +1,245 @@
+"""High-level simulation front-end.
+
+:func:`simulate` is the main entry point of the library: it wires a
+protocol, an initial configuration, an engine, a recorder and a
+stopping condition together, and returns a :class:`RunResult` carrying
+the trace and the headline quantities (stabilization time, winner, ...).
+
+Example
+-------
+>>> from repro import UndecidedStateDynamics, Configuration, simulate
+>>> protocol = UndecidedStateDynamics(k=4)
+>>> initial = Configuration.equal_minorities_with_bias(n=2000, k=4, bias=200)
+>>> result = simulate(protocol, initial, seed=1, max_parallel_time=2000)
+>>> result.stabilized, result.winner
+(True, 1)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..types import SeedLike, StopPredicate
+from .agent_engine import AgentEngine
+from .batch_engine import BatchEngine
+from .configuration import Configuration
+from .counts_engine import CountsEngine
+from .engine import BaseEngine
+from .protocol import OpinionProtocol, PopulationProtocol
+from .recorder import Trace, TrajectoryRecorder
+from . import stopping
+
+__all__ = ["RunResult", "make_engine", "simulate", "AUTO_ENGINE_COUNTS_LIMIT"]
+
+#: Populations up to this size default to the exact counts engine; larger
+#: ones use τ-leaping.  Chosen so the default stays exact whenever exact
+#: is affordable (~seconds).
+AUTO_ENGINE_COUNTS_LIMIT = 30_000
+
+_ENGINES = {
+    "agent": AgentEngine,
+    "counts": CountsEngine,
+    "batch": BatchEngine,
+}
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one :func:`simulate` call.
+
+    Attributes
+    ----------
+    trace:
+        Recorded trajectory (always contains at least the initial and
+        final snapshots).
+    final_counts:
+        State counts when the run ended.
+    interactions:
+        Total interactions executed (the paper's sequential time).
+    parallel_time:
+        ``interactions / n`` (the paper's parallel time).
+    stabilized:
+        Whether an absorbing configuration was reached.
+    stabilization_interactions:
+        Interaction index at which the last configuration change
+        happened, when the run stabilized — i.e. the stabilization time.
+        ``None`` for unstabilized runs.
+    winner:
+        1-based surviving opinion for stabilized opinion-protocol runs
+        that ended in consensus; ``None`` otherwise (including the
+        all-undecided failure absorption).
+    engine_name:
+        Which engine executed the run.
+    wall_seconds:
+        Wall-clock duration of the run loop.
+    metadata:
+        Provenance (seed, protocol, engine parameters).
+    """
+
+    trace: Trace
+    final_counts: np.ndarray
+    interactions: int
+    parallel_time: float
+    stabilized: bool
+    stabilization_interactions: Optional[int]
+    winner: Optional[int]
+    engine_name: str
+    wall_seconds: float
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def stabilization_parallel_time(self) -> Optional[float]:
+        """Stabilization time in parallel-time units, if stabilized."""
+        if self.stabilization_interactions is None:
+            return None
+        return self.stabilization_interactions / self.trace.n
+
+    def final_configuration(self) -> Configuration:
+        """Opinion-level view of the final counts (USD-layout protocols)."""
+        if self.trace.undecided_index != 0:
+            raise SimulationError(
+                "final_configuration requires the standard [⊥, opinions...] layout"
+            )
+        return Configuration.from_state_counts(self.final_counts)
+
+
+def make_engine(
+    protocol: PopulationProtocol,
+    initial: Union[Configuration, np.ndarray],
+    *,
+    engine: str = "auto",
+    seed: SeedLike = None,
+    **engine_kwargs: Any,
+) -> BaseEngine:
+    """Construct an engine from a protocol and an initial condition.
+
+    ``initial`` may be an opinion-level :class:`Configuration` (encoded
+    through the protocol) or a raw state-count vector.  ``engine`` is
+    ``'agent'``, ``'counts'``, ``'batch'`` or ``'auto'`` (exact counts
+    engine up to :data:`AUTO_ENGINE_COUNTS_LIMIT` agents, τ-leaping
+    beyond).
+    """
+    if isinstance(initial, Configuration):
+        counts = protocol.encode_configuration(initial)
+    else:
+        counts = np.asarray(initial)
+    n = int(np.sum(counts))
+    if engine == "auto":
+        engine = "counts" if n <= AUTO_ENGINE_COUNTS_LIMIT else "batch"
+    try:
+        engine_cls = _ENGINES[engine]
+    except KeyError:
+        raise SimulationError(
+            f"unknown engine {engine!r}; choose from {sorted(_ENGINES)} or 'auto'"
+        ) from None
+    return engine_cls(protocol, counts, seed=seed, **engine_kwargs)
+
+
+def simulate(
+    protocol: PopulationProtocol,
+    initial: Union[Configuration, np.ndarray],
+    *,
+    engine: str = "auto",
+    seed: SeedLike = None,
+    max_interactions: Optional[int] = None,
+    max_parallel_time: Optional[float] = None,
+    snapshot_every: Optional[int] = None,
+    stop: Optional[StopPredicate] = None,
+    stop_when_stable: bool = True,
+    metadata: Optional[Dict[str, Any]] = None,
+    **engine_kwargs: Any,
+) -> RunResult:
+    """Run ``protocol`` from ``initial`` and return a :class:`RunResult`.
+
+    Exactly one horizon must be given, either ``max_interactions`` or
+    ``max_parallel_time`` (converted as ``round(t * n)``).  The run ends
+    at the horizon, at absorption (detected automatically), or when the
+    optional extra ``stop`` predicate fires, whichever comes first.
+
+    ``snapshot_every`` sets the recording / stop-checking cadence in
+    interactions (default: half a parallel round).
+    """
+    eng = make_engine(protocol, initial, engine=engine, seed=seed, **engine_kwargs)
+    if (max_interactions is None) == (max_parallel_time is None):
+        raise SimulationError(
+            "specify exactly one of max_interactions / max_parallel_time"
+        )
+    if max_interactions is None:
+        max_interactions = int(round(max_parallel_time * eng.n))
+    if max_interactions < 0:
+        raise SimulationError(f"horizon must be non-negative, got {max_interactions}")
+
+    predicate = stop
+    if not stop_when_stable and predicate is None:
+        raise SimulationError("stop_when_stable=False requires an explicit stop")
+    # Absorption always halts the loop (nothing can change afterwards);
+    # stop_when_stable only controls whether we *report* it as intended.
+
+    recorder = TrajectoryRecorder()
+    started = time.perf_counter()
+    eng.run(
+        max_interactions,
+        stop=predicate,
+        snapshot_every=snapshot_every,
+        recorder=recorder,
+    )
+    elapsed = time.perf_counter() - started
+
+    undecided_index: Optional[int] = None
+    if isinstance(protocol, OpinionProtocol) and protocol.num_bookkeeping_states == 1:
+        undecided_index = 0
+    elif isinstance(protocol, OpinionProtocol) and protocol.num_bookkeeping_states == 0:
+        undecided_index = None
+
+    meta = {
+        "engine": eng.engine_name,
+        "protocol": protocol.name,
+        "n": eng.n,
+        **(metadata or {}),
+    }
+    trace = recorder.build(
+        n=eng.n,
+        state_names=protocol.state_names(),
+        protocol_name=protocol.name,
+        undecided_index=undecided_index,
+        metadata=meta,
+    )
+
+    stabilized_flag = bool(eng.is_absorbed)
+    stabilization = eng.last_change_interaction if stabilized_flag else None
+    if stabilized_flag and stabilization is None:
+        stabilization = 0  # started absorbed
+
+    winner = _winner_of(protocol, eng.counts) if stabilized_flag else None
+
+    return RunResult(
+        trace=trace,
+        final_counts=eng.counts,
+        interactions=eng.interactions,
+        parallel_time=eng.parallel_time,
+        stabilized=stabilized_flag,
+        stabilization_interactions=stabilization,
+        winner=winner,
+        engine_name=eng.engine_name,
+        wall_seconds=elapsed,
+        metadata=meta,
+    )
+
+
+def _winner_of(
+    protocol: PopulationProtocol, counts: np.ndarray
+) -> Optional[int]:
+    """Surviving opinion of a consensus state, if the protocol exposes one."""
+    if not isinstance(protocol, OpinionProtocol):
+        return None
+    opinions = protocol.opinion_counts_of(counts)
+    n = int(np.sum(counts))
+    winners = np.flatnonzero(opinions == n)
+    if winners.size != 1:
+        return None
+    return int(winners[0]) + 1

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except ReproError`` clause while letting programming errors (``TypeError``
+and friends) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid population configuration was constructed or requested.
+
+    Raised when counts are negative, do not sum to the population size,
+    or an opinion index is out of range.
+    """
+
+
+class ProtocolError(ReproError):
+    """A protocol definition is inconsistent.
+
+    Raised e.g. when a transition function maps to states outside the
+    declared alphabet, or when a protocol is asked about an opinion it
+    does not encode.
+    """
+
+
+class SchedulerError(ReproError):
+    """An interaction scheduler was mis-configured.
+
+    Raised e.g. for populations smaller than two agents or interaction
+    graphs without edges.
+    """
+
+
+class SimulationError(ReproError):
+    """A simulation could not be carried out as requested.
+
+    Raised e.g. when a horizon is exhausted in ``run_until_stable`` with
+    ``on_horizon='raise'`` or when an engine is stepped past absorption
+    in strict mode.
+    """
+
+
+class BatchSizeError(SimulationError):
+    """The tau-leaping engine could not find a usable batch size.
+
+    This signals that repeated rejection halving drove the batch below
+    one interaction, which indicates a bug rather than bad luck: a batch
+    of a single interaction is always exact.
+    """
+
+
+class RegimeError(ReproError):
+    """Paper parameters fall outside the regime a formula assumes.
+
+    The theorems of the paper require e.g. ``k = o(sqrt(n)/log n)``; the
+    :mod:`repro.theory` helpers raise this error (or warn, depending on
+    the ``strict`` flag) when asked to evaluate a bound far outside its
+    regime of validity.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment id is unknown or an experiment was mis-parameterised."""
+
+
+class SerializationError(ReproError):
+    """A trace or result file could not be written or parsed."""

@@ -1,0 +1,86 @@
+"""Minimal terminal line plots.
+
+The benchmark environment has no plotting stack, so the figure
+experiments render their curves as ASCII — enough to eyeball the
+Figure 1 shapes (the u-plateau, the late majority surge) directly in a
+terminal or in EXPERIMENTS.md code blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ExperimentError
+
+__all__ = ["ascii_line_plot"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_line_plot(
+    curves: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named ``(x, y)`` curves on one shared-axis character grid.
+
+    Each curve gets a marker from ``* o + x ...`` in insertion order; a
+    legend, axis ranges and optional labels are appended below the grid.
+    """
+    if not curves:
+        raise ExperimentError("ascii_line_plot needs at least one curve")
+    if width < 16 or height < 4:
+        raise ExperimentError(f"plot area too small ({width}x{height})")
+
+    arrays = {}
+    for name, (xs, ys) in curves.items():
+        x_arr = np.asarray(xs, dtype=float)
+        y_arr = np.asarray(ys, dtype=float)
+        if x_arr.size != y_arr.size or x_arr.size == 0:
+            raise ExperimentError(f"curve {name!r} has mismatched or empty data")
+        arrays[name] = (x_arr, y_arr)
+
+    x_min = min(arr[0].min() for arr in arrays.values())
+    x_max = max(arr[0].max() for arr in arrays.values())
+    y_min = min(arr[1].min() for arr in arrays.values())
+    y_max = max(arr[1].max() for arr in arrays.values())
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, (x_arr, y_arr)) in enumerate(arrays.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        cols = np.clip(
+            ((x_arr - x_min) / x_span * (width - 1)).round().astype(int), 0, width - 1
+        )
+        rows = np.clip(
+            ((y_arr - y_min) / y_span * (height - 1)).round().astype(int),
+            0,
+            height - 1,
+        )
+        for col, row in zip(cols, rows):
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    footer = f"x: [{x_min:g}, {x_max:g}]"
+    if x_label:
+        footer += f" ({x_label})"
+    footer += f"   y: [{y_min:g}, {y_max:g}]"
+    if y_label:
+        footer += f" ({y_label})"
+    lines.append(footer)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(arrays)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

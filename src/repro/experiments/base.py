@@ -1,0 +1,137 @@
+"""Experiment framework.
+
+Each paper artifact (figure panel, lemma claim, theorem scaling) is an
+:class:`Experiment` subclass with an id from DESIGN.md's per-experiment
+index.  Running one produces an :class:`ExperimentResult`: tabular rows
+(the paper-style numbers), named series (the plotted curves), notes
+(shape checks passed/failed) and full parameter provenance.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ExperimentError
+from ..io.serialization import save_result_rows
+from ..io.tables import format_table
+
+__all__ = ["ExperimentResult", "Experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment run produced.
+
+    Attributes
+    ----------
+    experiment_id:
+        The registry id (e.g. ``'fig1-left'``).
+    title:
+        Human-readable artifact name.
+    rows:
+        Tabular results, one dict per row.
+    series:
+        Named 1-D arrays for plotting (e.g. ``'parallel_time'``,
+        ``'majority'``).
+    notes:
+        Free-text observations, including shape-check verdicts.
+    params:
+        The exact parameters used (for provenance / EXPERIMENTS.md).
+    wall_seconds:
+        Wall-clock duration of the run.
+    """
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    series: Dict[str, np.ndarray] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+    params: Dict[str, Any] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def table(self, **format_kwargs: Any) -> str:
+        """Render the rows as an aligned text table."""
+        if not self.rows:
+            raise ExperimentError(f"experiment {self.experiment_id} produced no rows")
+        return format_table(self.rows, title=self.title, **format_kwargs)
+
+    def save(self, directory: Path) -> List[Path]:
+        """Persist rows (JSON) and series (NPZ) under ``directory``.
+
+        Returns the written paths.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = []
+        rows_path = directory / f"{self.experiment_id}.json"
+        save_result_rows(
+            self.rows,
+            rows_path,
+            extra={
+                "title": self.title,
+                "notes": self.notes,
+                "params": self.params,
+                "wall_seconds": self.wall_seconds,
+            },
+        )
+        written.append(rows_path)
+        if self.series:
+            series_path = directory / f"{self.experiment_id}_series.npz"
+            np.savez_compressed(series_path, **self.series)
+            written.append(series_path)
+        return written
+
+
+class Experiment(abc.ABC):
+    """Base class for registry experiments.
+
+    Subclasses define ``experiment_id``, ``title``, a ``DEFAULTS`` dict
+    of parameters and :meth:`_execute`.  Constructor keyword arguments
+    override defaults; unknown parameter names are rejected so typos
+    fail loudly.
+    """
+
+    #: Registry id; subclasses override.
+    experiment_id: str = "abstract"
+    #: Human-readable artifact title; subclasses override.
+    title: str = "abstract experiment"
+    #: Default parameters; subclasses override.
+    DEFAULTS: Dict[str, Any] = {}
+
+    def __init__(self, **overrides: Any):
+        unknown = set(overrides) - set(self.DEFAULTS)
+        if unknown:
+            raise ExperimentError(
+                f"{self.experiment_id}: unknown parameters {sorted(unknown)}; "
+                f"valid ones are {sorted(self.DEFAULTS)}"
+            )
+        self.params: Dict[str, Any] = {**self.DEFAULTS, **overrides}
+
+    def run(self) -> ExperimentResult:
+        """Execute the experiment and stamp timing/provenance."""
+        started = time.perf_counter()
+        result = self._execute()
+        result.wall_seconds = time.perf_counter() - started
+        result.params = dict(self.params)
+        return result
+
+    @abc.abstractmethod
+    def _execute(self) -> ExperimentResult:
+        """Produce the result (timing/params are filled in by :meth:`run`)."""
+
+    def _result(self, **kwargs: Any) -> ExperimentResult:
+        """Convenience constructor pre-filled with id and title."""
+        return ExperimentResult(
+            experiment_id=self.experiment_id, title=self.title, **kwargs
+        )
+
+    @classmethod
+    def describe(cls) -> str:
+        """One-line description for ``repro list``."""
+        return f"{cls.experiment_id}: {cls.title}"

@@ -1,0 +1,86 @@
+"""Experiment ``usd2-logn``: the k = 2 baseline law (Clementi et al.).
+
+§1.2 of the paper recalls that for k = 2 the unconditional USD
+stabilizes in O(log n) parallel time w.h.p. and in expectation
+(Clementi et al., MFCS'18) — the starting point the k-opinion lower
+bound generalises away from.  This experiment sweeps n with k = 2 and
+bias √(n ln n), fits T ≈ c·ln n, and also verifies the trivial Ω(log n)
+coupon-collector lower bound the paper invokes for small k.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict
+
+import numpy as np
+
+from ..analysis.stabilization import usd_stabilization_ensemble
+from ..analysis.stats import fit_proportional
+from ..theory.bounds import trivial_lower_bound_parallel_time
+from ..workloads.initial import paper_initial_configuration
+from .base import Experiment, ExperimentResult
+
+__all__ = ["BinaryLogNExperiment"]
+
+
+class BinaryLogNExperiment(Experiment):
+    """k = 2 stabilization times across n, against the Θ(log n) law."""
+
+    experiment_id = "usd2-logn"
+    title = "k = 2 USD stabilizes in Θ(log n) parallel time"
+    DEFAULTS: Dict[str, Any] = {
+        "n_values": (5_000, 10_000, 20_000, 50_000, 100_000),
+        "num_seeds": 5,
+        "seed": 17,
+        "engine": "batch",
+        "max_parallel_time": 2_000.0,
+    }
+
+    def _execute(self) -> ExperimentResult:
+        rows = []
+        log_ns, medians = [], []
+        for n in self.params["n_values"]:
+            config = paper_initial_configuration(n, 2)
+            ensemble = usd_stabilization_ensemble(
+                config,
+                num_seeds=self.params["num_seeds"],
+                seed=self.params["seed"] + n,
+                engine=self.params["engine"],
+                max_parallel_time=self.params["max_parallel_time"],
+            )
+            summary = ensemble.summary()
+            log_ns.append(math.log(n))
+            medians.append(summary.median)
+            rows.append(
+                {
+                    "n": n,
+                    "ln_n": math.log(n),
+                    "median_parallel_time": summary.median,
+                    "min_parallel_time": summary.minimum,
+                    "trivial_lb_ln_n": trivial_lower_bound_parallel_time(n),
+                    "majority_won": ensemble.majority_win_fraction,
+                    "censored_runs": ensemble.censored,
+                }
+            )
+        fit = fit_proportional(log_ns, medians)
+        for row, log_n in zip(rows, log_ns):
+            row["fit_c_ln_n"] = fit.slope * log_n
+        # the trivial lower bound: no run may finish much faster than ln n
+        trivial_ok = all(
+            row["min_parallel_time"] > row["trivial_lb_ln_n"] / 4.0 for row in rows
+        )
+        notes = [
+            f"T ≈ c·ln n with c = {fit.slope:.2f}, R² = {fit.r_squared:.4f} "
+            "(Clementi et al.: Θ(log n) for k = 2)",
+            "every run respects the trivial Ω(log n) coupon-collector bound "
+            "(within a factor 4 constant)"
+            if trivial_ok
+            else "VIOLATION of the trivial Ω(log n) bound",
+        ]
+        series = {
+            "ln_n": np.asarray(log_ns),
+            "median_parallel_time": np.asarray(medians),
+            "fit": fit.slope * np.asarray(log_ns),
+        }
+        return self._result(rows=rows, series=series, notes=notes)

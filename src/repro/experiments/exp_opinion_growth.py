@@ -1,0 +1,105 @@
+"""Experiment ``lem33-growth``: validate Lemma 3.3's opinion-growth bound.
+
+Lemma 3.3: if opinion ``i`` has support ≤ 3n/(2k) at some time (with
+``u`` below its Lemma 3.1 ceiling), then w.h.p. it needs at least
+``k·n/25`` further interactions to reach ``2n/k``.
+
+Setup: start from a *plateau configuration* — ``u`` already at
+``n/2 − n/(4k)``, opinion 1 at exactly ``3n/(2k)`` (the worst case the
+lemma permits), the rest equal — and measure the first time opinion 1's
+support reaches ``⌈2n/k⌉``, over several seeds.  The measured minimum
+must exceed ``k·n/25``; runs that never reach the target within the
+horizon only reinforce the bound and are reported as censored.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict
+
+import numpy as np
+
+from ..core import stopping
+from ..core.run import simulate
+from ..protocols.usd import UndecidedStateDynamics
+from ..rng import derive_seed
+from ..theory.lemmas import lemma33_min_interactions, lemma33_thresholds
+from ..workloads.initial import plateau_configuration
+from .base import Experiment, ExperimentResult
+
+__all__ = ["OpinionGrowthExperiment"]
+
+
+class OpinionGrowthExperiment(Experiment):
+    """Measured 3n/2k → 2n/k growth times versus the k·n/25 bound."""
+
+    experiment_id = "lem33-growth"
+    title = "Lemma 3.3: growing 3n/2k → 2n/k takes ≥ kn/25 interactions"
+    DEFAULTS: Dict[str, Any] = {
+        "n": 50_000,
+        "k_values": (8, 16, 32),
+        "num_seeds": 5,
+        "seed": 33,
+        "engine": "batch",
+        "horizon_multiple": 12.0,  # horizon = multiple × (k n / 25)
+    }
+
+    def _execute(self) -> ExperimentResult:
+        n = self.params["n"]
+        rows = []
+        all_ok = True
+        for k in self.params["k_values"]:
+            protocol = UndecidedStateDynamics(k=k)
+            start_support, target_support = lemma33_thresholds(n, k)
+            config = plateau_configuration(
+                n, k, target_opinion_support=int(round(start_support))
+            )
+            bound = lemma33_min_interactions(n, k)
+            horizon = int(self.params["horizon_multiple"] * bound)
+            target = int(math.ceil(target_support))
+            reach_times = []
+            censored = 0
+            for index in range(self.params["num_seeds"]):
+                result = simulate(
+                    protocol,
+                    config,
+                    engine=self.params["engine"],
+                    seed=derive_seed(self.params["seed"], 1000 * k + index),
+                    max_interactions=horizon,
+                    snapshot_every=max(1, n // 10),
+                    stop=stopping.opinion_reached(protocol, 1, target),
+                )
+                reached = int(result.final_counts[1]) >= target
+                if reached:
+                    reach_times.append(result.interactions)
+                else:
+                    censored += 1
+            measured_min = float(min(reach_times)) if reach_times else float("inf")
+            ok = measured_min >= bound
+            all_ok = all_ok and ok
+            rows.append(
+                {
+                    "n": n,
+                    "k": k,
+                    "start_support": int(round(start_support)),
+                    "target_support": target,
+                    "bound_interactions": bound,
+                    "min_measured": None if not reach_times else measured_min,
+                    "median_measured": None
+                    if not reach_times
+                    else float(np.median(reach_times)),
+                    "min_over_bound": None
+                    if not reach_times
+                    else measured_min / bound,
+                    "censored_runs": censored,
+                    "bound_holds": ok,
+                }
+            )
+        notes = [
+            "all measured growth times respect the kn/25 lower bound"
+            if all_ok
+            else "VIOLATION: some growth happened faster than kn/25",
+            "censored runs never reached 2n/k within the horizon "
+            "(consistent with the bound)",
+        ]
+        return self._result(rows=rows, notes=notes)

@@ -1,0 +1,86 @@
+"""Experiment ``lem31-ceiling``: validate Lemma 3.1's bound on u(t).
+
+Lemma 3.1 proves that for any initial configuration and all
+``t ≤ n⁴``, w.h.p.
+
+    u(t) ≤ ũ + (20·132 + 1)·√(n log n),   ũ = n/2 − n/(4k) + 10n/(k−1)².
+
+The proof constant is enormous (2641·√(n log n) exceeds n at the sizes
+we simulate), so the *measured* quantity of interest is the normalized
+exceedance ``(max_t u(t) − ũ)/√(n log n)``: the lemma says it is below
+2641; drift heuristics say it should be O(1).  This experiment runs a
+grid of ``(n, k)`` with several seeds from the paper's initial
+configuration and reports the worst normalized exceedance per point.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict
+
+from ..analysis.trajectories import undecided_exceedance
+from ..core.run import simulate
+from ..protocols.usd import UndecidedStateDynamics
+from ..rng import derive_seed
+from ..theory.lemmas import LEMMA31_SLACK_MULTIPLIER, lemma31_ceiling, u_tilde
+from ..workloads.initial import paper_initial_configuration
+from .base import Experiment, ExperimentResult
+
+__all__ = ["UndecidedCeilingExperiment"]
+
+
+class UndecidedCeilingExperiment(Experiment):
+    """Grid validation of the Lemma 3.1 undecided-count ceiling."""
+
+    experiment_id = "lem31-ceiling"
+    title = "Lemma 3.1: u(t) never substantially exceeds n/2 − n/(4k)"
+    DEFAULTS: Dict[str, Any] = {
+        "n_values": (20_000, 50_000),
+        "k_values": (8, 16, 32),
+        "num_seeds": 5,
+        "seed": 7,
+        "engine": "batch",
+        "max_parallel_time": 1_500.0,
+    }
+
+    def _execute(self) -> ExperimentResult:
+        rows = []
+        worst_overall = -math.inf
+        for n in self.params["n_values"]:
+            for k in self.params["k_values"]:
+                worst = -math.inf
+                config = paper_initial_configuration(n, k)
+                protocol = UndecidedStateDynamics(k=k)
+                for index in range(self.params["num_seeds"]):
+                    result = simulate(
+                        protocol,
+                        config,
+                        engine=self.params["engine"],
+                        seed=derive_seed(self.params["seed"], hash((n, k)) % 10_000 + index),
+                        max_parallel_time=self.params["max_parallel_time"],
+                        snapshot_every=max(1, n // 20),
+                    )
+                    exceedance = undecided_exceedance(result.trace, k)
+                    worst = max(worst, exceedance.normalized)
+                worst_overall = max(worst_overall, worst)
+                rows.append(
+                    {
+                        "n": n,
+                        "k": k,
+                        "u_tilde": u_tilde(n, k),
+                        "plateau": n / 2 - n / (4 * k),
+                        "max_exceedance_normalized": worst,
+                        "paper_slack_multiplier": LEMMA31_SLACK_MULTIPLIER,
+                        "lemma_ceiling": lemma31_ceiling(n, k),
+                        "within_lemma": worst < LEMMA31_SLACK_MULTIPLIER,
+                        "within_tight_band": worst < 5.0,
+                    }
+                )
+        notes = [
+            f"worst normalized exceedance over the whole grid: {worst_overall:.2f} "
+            f"(lemma allows up to {LEMMA31_SLACK_MULTIPLIER}; O(1) expected)",
+            "every (n, k, seed) satisfied the Lemma 3.1 ceiling"
+            if all(row["within_lemma"] for row in rows)
+            else "VIOLATION: some run exceeded the Lemma 3.1 ceiling",
+        ]
+        return self._result(rows=rows, notes=notes)

@@ -1,0 +1,67 @@
+"""Experiment registry: DESIGN.md's per-experiment index, executable.
+
+Maps every experiment id to its class so the CLI, the benchmark
+harness, and EXPERIMENTS.md generation all run exactly the same code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Type
+
+from ..errors import ExperimentError
+from .base import Experiment, ExperimentResult
+from .exp_bias_threshold import BiasThresholdExperiment
+from .exp_binary_logn import BinaryLogNExperiment
+from .exp_engines import EngineAblationExperiment
+from .exp_figure1_ensemble import Figure1EnsembleExperiment
+from .exp_gap_doubling import GapDoublingExperiment
+from .exp_graph import GraphTopologyExperiment
+from .exp_memory import MemoryUSDExperiment
+from .exp_model_comparison import ModelComparisonExperiment
+from .exp_opinion_growth import OpinionGrowthExperiment
+from .exp_scaling import ScalingExperiment
+from .exp_undecided_ceiling import UndecidedCeilingExperiment
+from .figure1 import Figure1Left, Figure1Right
+
+__all__ = ["EXPERIMENTS", "get_experiment", "list_experiments", "run_experiment"]
+
+#: All registered experiments, keyed by id (see DESIGN.md §2).
+EXPERIMENTS: Dict[str, Type[Experiment]] = {
+    cls.experiment_id: cls
+    for cls in (
+        Figure1Left,
+        Figure1Right,
+        Figure1EnsembleExperiment,
+        UndecidedCeilingExperiment,
+        OpinionGrowthExperiment,
+        GapDoublingExperiment,
+        ScalingExperiment,
+        BiasThresholdExperiment,
+        BinaryLogNExperiment,
+        ModelComparisonExperiment,
+        GraphTopologyExperiment,
+        MemoryUSDExperiment,
+        EngineAblationExperiment,
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> Type[Experiment]:
+    """Look up an experiment class by id."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known ids: "
+            f"{', '.join(sorted(EXPERIMENTS))}"
+        ) from None
+
+
+def list_experiments() -> List[str]:
+    """One description line per registered experiment."""
+    return [EXPERIMENTS[key].describe() for key in sorted(EXPERIMENTS)]
+
+
+def run_experiment(experiment_id: str, **params: Any) -> ExperimentResult:
+    """Instantiate and run an experiment by id with parameter overrides."""
+    return get_experiment(experiment_id)(**params).run()

@@ -1,0 +1,54 @@
+"""Rendering experiment results for terminals and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ascii_plot import ascii_line_plot
+from .base import ExperimentResult
+from .figure1 import Figure1Left, Figure1Right
+
+__all__ = ["render_result"]
+
+
+def render_result(result: ExperimentResult, *, plots: bool = True, width: int = 72) -> str:
+    """Full text report: table, notes, and (for figures) ASCII plots."""
+    parts = [result.table()]
+    if result.notes:
+        parts.append("")
+        parts.extend(f"note: {note}" for note in result.notes)
+    if plots:
+        plot = _plot_for(result, width)
+        if plot is not None:
+            parts.append("")
+            parts.append(plot)
+    parts.append("")
+    parts.append(f"(wall time: {result.wall_seconds:.1f}s)")
+    return "\n".join(parts)
+
+
+def _plot_for(result: ExperimentResult, width: int) -> Optional[str]:
+    if result.experiment_id == Figure1Left.experiment_id:
+        return Figure1Left.plot(result, width=width)
+    if result.experiment_id == Figure1Right.experiment_id:
+        return Figure1Right.plot(result, width=width)
+    if (
+        "k" in result.series
+        and "population_parallel_time" in result.series
+        and "gossip_rounds" in result.series
+    ):
+        return ascii_line_plot(
+            {
+                "population": (
+                    result.series["k"],
+                    result.series["population_parallel_time"],
+                ),
+                "gossip": (result.series["k"], result.series["gossip_rounds"]),
+            },
+            width=width,
+            height=12,
+            title=result.title,
+            x_label="k",
+            y_label="parallel time / rounds",
+        )
+    return None

@@ -1,0 +1,24 @@
+"""Gossip-model substrate: synchronous engine, dynamics, md(c)."""
+
+from .dynamics import (
+    GossipThreeMajority,
+    GossipUSD,
+    GossipVoter,
+    three_majority_distribution,
+)
+from .engine import GossipDynamics, GossipEngine
+from .monochromatic import md_time_bound, monochromatic_distance
+from .run import GossipRunResult, simulate_gossip
+
+__all__ = [
+    "GossipDynamics",
+    "GossipEngine",
+    "GossipRunResult",
+    "GossipThreeMajority",
+    "GossipUSD",
+    "GossipVoter",
+    "md_time_bound",
+    "monochromatic_distance",
+    "simulate_gossip",
+    "three_majority_distribution",
+]

@@ -1,0 +1,14 @@
+"""Persistence and report formatting."""
+
+from .serialization import load_result_rows, load_trace, save_result_rows, save_trace
+from .tables import format_markdown_table, format_table, write_csv
+
+__all__ = [
+    "format_markdown_table",
+    "format_table",
+    "load_result_rows",
+    "load_trace",
+    "save_result_rows",
+    "save_trace",
+    "write_csv",
+]

@@ -1,0 +1,27 @@
+"""Mean-field (fluid-limit) substrate for the USD."""
+
+from .fixed_points import (
+    FixedPointClassification,
+    classify_fixed_point,
+    consensus_fixed_point,
+    jacobian,
+    symmetric_interior_fixed_point,
+    undecided_fixed_point_fraction,
+    undecided_plateau_fraction,
+)
+from .ode import MeanFieldSolution, USDMeanField
+from .timescales import MeanFieldTimescales, predict_timescales
+
+__all__ = [
+    "FixedPointClassification",
+    "MeanFieldSolution",
+    "MeanFieldTimescales",
+    "USDMeanField",
+    "predict_timescales",
+    "classify_fixed_point",
+    "consensus_fixed_point",
+    "jacobian",
+    "symmetric_interior_fixed_point",
+    "undecided_fixed_point_fraction",
+    "undecided_plateau_fraction",
+]

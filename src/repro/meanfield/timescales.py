@@ -1,0 +1,114 @@
+"""Deterministic timescale predictions from the fluid limit.
+
+The mean-field ODE of :mod:`repro.meanfield.ode` predicts the *shape*
+of Figure 1 deterministically: when u(τ) enters its plateau, when the
+majority doubles, and when consensus is (numerically) reached.  These
+predictions line up with the simulated medians at large n — they are
+the zero-noise skeleton the paper's concentration analysis decorates
+with O(√(n log n)) fluctuations — and the integration tests compare the
+two directly.
+
+Caveat spelled out in the docstrings: from an *exactly symmetric*
+minority start the ODE conserves minority equality, while the
+stochastic system breaks ties by noise; predictions are therefore made
+from the (biased) paper initial configuration, whose asymmetry the ODE
+amplifies just like the expected dynamics do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.configuration import Configuration
+from ..errors import SimulationError
+from .ode import USDMeanField
+
+__all__ = ["MeanFieldTimescales", "predict_timescales"]
+
+
+@dataclass(frozen=True)
+class MeanFieldTimescales:
+    """ODE-predicted event times (parallel-time units).
+
+    Attributes
+    ----------
+    plateau_entry:
+        First time the undecided fraction comes within ``tolerance`` of
+        the symmetric fixed point ``(k−1)/(2k−1)``.
+    majority_doubling:
+        First time the majority fraction reaches twice its initial
+        value (``None`` when it does not double before ``horizon``).
+    consensus:
+        First time the majority holds all but ``tolerance`` of the
+        population (``None`` if not reached before ``horizon``).
+    horizon:
+        The integration horizon used.
+    """
+
+    plateau_entry: Optional[float]
+    majority_doubling: Optional[float]
+    consensus: Optional[float]
+    horizon: float
+
+    @property
+    def doubling_fraction_of_consensus(self) -> Optional[float]:
+        """The Figure-1-right ratio, deterministically predicted."""
+        if self.majority_doubling is None or not self.consensus:
+            return None
+        return self.majority_doubling / self.consensus
+
+
+def _first_crossing(
+    times: np.ndarray, series: np.ndarray, predicate: np.ndarray
+) -> Optional[float]:
+    hits = np.flatnonzero(predicate)
+    return float(times[hits[0]]) if hits.size else None
+
+
+def predict_timescales(
+    initial: Configuration,
+    *,
+    horizon: float = 500.0,
+    tolerance: float = 1e-3,
+    grid_points: int = 4000,
+) -> MeanFieldTimescales:
+    """Integrate the fluid limit from ``initial`` and extract event times.
+
+    ``tolerance`` is in *fraction* units: plateau entry means
+    ``|v − v*| < tolerance`` and consensus means the majority fraction
+    exceeds ``1 − tolerance``.
+    """
+    if horizon <= 0:
+        raise SimulationError(f"horizon must be positive, got {horizon}")
+    if not 0 < tolerance < 0.5:
+        raise SimulationError(f"tolerance must be in (0, 0.5), got {tolerance}")
+    k = initial.k
+    model = USDMeanField(k=k)
+    grid = np.linspace(0.0, horizon, grid_points)
+    solution = model.integrate(initial, t_end=horizon, t_eval=grid)
+
+    v_star = (k - 1.0) / (2.0 * k - 1.0)
+    plateau = _first_crossing(
+        solution.times,
+        solution.undecided,
+        np.abs(solution.undecided - v_star) < tolerance,
+    )
+    majority = solution.opinions[:, 0]
+    initial_fraction = majority[0]
+    doubling = None
+    if initial_fraction > 0:
+        doubling = _first_crossing(
+            solution.times, majority, majority >= 2.0 * initial_fraction
+        )
+    consensus = _first_crossing(
+        solution.times, majority, majority >= 1.0 - tolerance
+    )
+    return MeanFieldTimescales(
+        plateau_entry=plateau,
+        majority_doubling=doubling,
+        consensus=consensus,
+        horizon=horizon,
+    )

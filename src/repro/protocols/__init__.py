@@ -1,0 +1,14 @@
+"""Population protocols: the paper's USD, baselines, and extensions."""
+
+from .four_state import FourStateExactMajority
+from .hysteresis import HysteresisUSD
+from .usd import UNDECIDED_STATE, UndecidedStateDynamics
+from .voter import VoterModel
+
+__all__ = [
+    "FourStateExactMajority",
+    "HysteresisUSD",
+    "UNDECIDED_STATE",
+    "UndecidedStateDynamics",
+    "VoterModel",
+]

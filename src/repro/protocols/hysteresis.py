@@ -1,0 +1,159 @@
+"""Hysteresis USD — the paper's "slightly more memory" question, executable.
+
+The paper's conclusion (§4) asks: *"it would be interesting to explore
+scenarios where (slightly) more memory is available at the nodes ...
+at which point can we break the lower bound barrier?"*  This module
+provides a concrete, well-defined protocol family to experiment with:
+
+**HysteresisUSD(k, r)** — every decided agent carries a *confidence
+level* in ``1..r``:
+
+* meeting a *different* opinion costs one confidence level; an agent at
+  level 1 becomes undecided (so ``r`` clashes are needed to dislodge a
+  fully-confident agent, instead of USD's one);
+* meeting the *same* opinion restores full confidence (the hysteresis);
+* an undecided agent adopts its partner's opinion at full confidence;
+* two undecided agents change nothing.
+
+``r = 1`` is exactly the unconditional USD (k + 1 states).  Larger
+``r`` uses ``k·r + 1`` states — "slightly more memory" in the
+conclusion's sense.  The `memory-usd` experiment measures what the
+extra memory buys (correctness at smaller bias) and costs
+(stabilization time), relative to the r = 1 baseline the paper bounds.
+
+Note on absorbing states: with ``r ≥ 2``, same-opinion meetings restore
+confidence, so a consensus with mixed confidence levels is *not* yet
+absorbing (it keeps drifting to full confidence); output-level
+consensus is reached at the same moment as in USD terms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.configuration import Configuration
+from ..core.protocol import PopulationProtocol
+from ..errors import ProtocolError
+from ..types import StatePair
+
+__all__ = ["HysteresisUSD"]
+
+#: Alphabet index of the undecided state ⊥ (levels live above it).
+UNDECIDED_STATE = 0
+
+
+class HysteresisUSD(PopulationProtocol):
+    """k-opinion USD with ``r`` confidence levels per opinion.
+
+    State layout: ``0 = ⊥``; opinion ``i`` (1-based) at confidence
+    ``level`` (1-based) is state ``1 + (i − 1)·r + (level − 1)``.
+    """
+
+    name = "hysteresis-usd"
+
+    def __init__(self, k: int, r: int):
+        if k < 1:
+            raise ProtocolError(f"number of opinions must be >= 1, got {k}")
+        if r < 1:
+            raise ProtocolError(f"number of confidence levels must be >= 1, got {r}")
+        self._k = int(k)
+        self._r = int(r)
+
+    @property
+    def k(self) -> int:
+        """Number of opinions."""
+        return self._k
+
+    @property
+    def r(self) -> int:
+        """Confidence levels per opinion (``r = 1`` is plain USD)."""
+        return self._r
+
+    @property
+    def num_states(self) -> int:
+        return self._k * self._r + 1
+
+    def state_names(self):
+        names = ["⊥"]
+        for opinion in range(1, self._k + 1):
+            for level in range(1, self._r + 1):
+                names.append(f"opinion{opinion}@{level}")
+        return tuple(names)
+
+    # ------------------------------------------------------------------
+    # State packing
+    # ------------------------------------------------------------------
+
+    def pack(self, opinion: int, level: int) -> int:
+        """Alphabet index of 1-based ``(opinion, level)``."""
+        if not 1 <= opinion <= self._k:
+            raise ProtocolError(f"opinion must be in 1..{self._k}, got {opinion}")
+        if not 1 <= level <= self._r:
+            raise ProtocolError(f"level must be in 1..{self._r}, got {level}")
+        return 1 + (opinion - 1) * self._r + (level - 1)
+
+    def unpack(self, state: int):
+        """``(opinion, level)`` of a decided state, or ``None`` for ⊥."""
+        if state == UNDECIDED_STATE:
+            return None
+        index = state - 1
+        return index // self._r + 1, index % self._r + 1
+
+    def output(self, state: int) -> int:
+        """γ: the opinion (0 for ⊥) — confidence is internal memory."""
+        decoded = self.unpack(state)
+        return 0 if decoded is None else decoded[0]
+
+    # ------------------------------------------------------------------
+    # Transition rule
+    # ------------------------------------------------------------------
+
+    def transition(self, initiator: int, responder: int) -> StatePair:
+        a = self.unpack(initiator)
+        b = self.unpack(responder)
+        if a is None and b is None:
+            return (initiator, responder)
+        if a is None:
+            opinion, _level = b
+            return (self.pack(opinion, self._r), responder)
+        if b is None:
+            opinion, _level = a
+            return (initiator, self.pack(opinion, self._r))
+        opinion_a, level_a = a
+        opinion_b, level_b = b
+        if opinion_a == opinion_b:
+            # mutual reinforcement: both return to full confidence
+            full = self.pack(opinion_a, self._r)
+            return (full, full)
+        return (self._demote(opinion_a, level_a), self._demote(opinion_b, level_b))
+
+    def _demote(self, opinion: int, level: int) -> int:
+        if level == 1:
+            return UNDECIDED_STATE
+        return self.pack(opinion, level - 1)
+
+    # ------------------------------------------------------------------
+    # Opinion-level bridging
+    # ------------------------------------------------------------------
+
+    def encode_configuration(self, config: Configuration) -> np.ndarray:
+        """All decided agents start at full confidence (like USD's start)."""
+        if config.k != self._k:
+            raise ProtocolError(
+                f"configuration has k={config.k}, protocol expects k={self._k}"
+            )
+        counts = np.zeros(self.num_states, dtype=np.int64)
+        counts[UNDECIDED_STATE] = config.undecided
+        for opinion in range(1, self._k + 1):
+            counts[self.pack(opinion, self._r)] = config.x(opinion)
+        return counts
+
+    def decode_counts(self, counts: np.ndarray) -> Configuration:
+        """Collapse confidence levels: ``x_i = Σ_level count(i, level)``."""
+        counts = np.asarray(counts)
+        if counts.shape != (self.num_states,):
+            raise ProtocolError(
+                f"counts must have shape ({self.num_states},), got {counts.shape}"
+            )
+        opinions = counts[1:].reshape(self._k, self._r).sum(axis=1)
+        return Configuration(opinions, undecided=int(counts[UNDECIDED_STATE]))

@@ -1,0 +1,102 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component of the library accepts a ``seed`` argument of
+type :data:`repro.types.SeedLike` and normalises it through
+:func:`make_rng`.  Ensembles of independent runs derive child generators
+with :func:`spawn` / :func:`spawn_many`, which use NumPy's
+``SeedSequence`` spawning so streams are statistically independent and
+reproducible regardless of execution order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from .types import SeedLike
+
+__all__ = ["make_rng", "spawn", "spawn_many", "seed_stream", "derive_seed"]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Normalise ``seed`` into a :class:`numpy.random.Generator`.
+
+    * ``None`` — fresh OS-entropy generator;
+    * ``int`` — deterministic generator seeded with that integer;
+    * ``SeedSequence`` — generator built on that sequence;
+    * ``Generator`` — returned unchanged (shared stream, not copied).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.Generator(np.random.PCG64(seed))
+    return np.random.Generator(np.random.PCG64(np.random.SeedSequence(seed)))
+
+
+def spawn(rng: np.random.Generator) -> np.random.Generator:
+    """Derive one statistically independent child generator from ``rng``."""
+    return spawn_many(rng, 1)[0]
+
+
+def spawn_many(rng: np.random.Generator, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    The children are produced by spawning the underlying bit generator's
+    ``SeedSequence``; when the generator was built without one (e.g. a
+    caller handed us a raw ``Generator``), fresh entropy from ``rng``
+    itself seeds the children, which keeps determinism for seeded runs.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+    if isinstance(seed_seq, np.random.SeedSequence):
+        children = seed_seq.spawn(count)
+    else:  # pragma: no cover - only reachable with exotic bit generators
+        children = [
+            np.random.SeedSequence(int(rng.integers(0, 2**63 - 1)))
+            for _ in range(count)
+        ]
+    return [np.random.Generator(np.random.PCG64(child)) for child in children]
+
+
+def seed_stream(seed: SeedLike = None) -> Iterator[np.random.Generator]:
+    """Yield an unbounded stream of independent generators.
+
+    Useful for open-ended seed ensembles::
+
+        for rng, _ in zip(seed_stream(7), range(30)):
+            run_one(rng)
+    """
+    root = np.random.SeedSequence(seed) if not isinstance(
+        seed, (np.random.Generator, np.random.SeedSequence)
+    ) else (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else getattr(seed.bit_generator, "seed_seq", np.random.SeedSequence())
+    )
+    counter = 0
+    while True:
+        (child,) = root.spawn(1)
+        counter += 1
+        yield np.random.Generator(np.random.PCG64(child))
+
+
+def derive_seed(seed: SeedLike, index: int) -> int:
+    """Return a stable 63-bit integer seed for run ``index`` of an ensemble.
+
+    Unlike :func:`spawn_many` this produces a *plain integer*, which is
+    convenient to store in result files so any individual ensemble
+    member can be replayed in isolation.
+    """
+    if index < 0:
+        raise ValueError(f"index must be non-negative, got {index}")
+    if isinstance(seed, np.random.Generator):
+        seed_seq = getattr(seed.bit_generator, "seed_seq", None)
+        entropy = seed_seq.entropy if seed_seq is not None else 0
+    elif isinstance(seed, np.random.SeedSequence):
+        entropy = seed.entropy
+    else:
+        entropy = seed
+    child = np.random.SeedSequence(entropy, spawn_key=(index,))
+    return int(child.generate_state(1, dtype=np.uint64)[0] >> 1)

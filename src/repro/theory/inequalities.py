@@ -1,0 +1,81 @@
+"""Concentration inequalities used by the paper (Theorem A.2 and friends).
+
+These are the probabilistic tools behind Lemma 3.2 (Bernstein) and the
+w.h.p. bookkeeping.  They are exposed both for the bound-evaluation
+experiments and as reusable utilities for the empirical analysis
+(Chernoff-style sanity envelopes on measured frequencies).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import RegimeError
+
+__all__ = [
+    "bernstein_tail",
+    "hoeffding_tail",
+    "chernoff_upper_tail",
+    "chernoff_lower_tail",
+    "whp_probability",
+    "union_bound",
+]
+
+
+def bernstein_tail(t: float, variance_sum: float, magnitude_bound: float) -> float:
+    """Bernstein's inequality (Theorem A.2).
+
+    For independent zero-mean ``X_i`` with ``|X_i| ≤ M`` a.s.::
+
+        P(Σ X_i ≥ t) ≤ exp( −(t²/2) / (Σ E[X_i²] + M·t/3) )
+
+    Parameters mirror the statement: ``variance_sum = Σ E[X_i²]`` and
+    ``magnitude_bound = M``.
+    """
+    if t < 0:
+        raise RegimeError(f"deviation t must be non-negative, got {t}")
+    if variance_sum < 0 or magnitude_bound < 0:
+        raise RegimeError("variance_sum and magnitude_bound must be non-negative")
+    denominator = variance_sum + magnitude_bound * t / 3.0
+    if denominator == 0:
+        return 0.0 if t > 0 else 1.0
+    return min(1.0, math.exp(-0.5 * t * t / denominator))
+
+
+def hoeffding_tail(t: float, count: int, range_width: float) -> float:
+    """Hoeffding: ``P(Σ X_i − E ≥ t) ≤ exp(−2t²/(count·range²))``."""
+    if t < 0:
+        raise RegimeError(f"deviation t must be non-negative, got {t}")
+    if count < 1 or range_width <= 0:
+        raise RegimeError("count must be >= 1 and range_width positive")
+    return min(1.0, math.exp(-2.0 * t * t / (count * range_width * range_width)))
+
+
+def chernoff_upper_tail(mean: float, delta: float) -> float:
+    """Multiplicative Chernoff: ``P(X ≥ (1+δ)μ) ≤ exp(−δ²μ/(2+δ))``."""
+    if mean < 0 or delta < 0:
+        raise RegimeError("mean and delta must be non-negative")
+    if mean == 0:
+        return 1.0 if delta == 0 else 0.0
+    return min(1.0, math.exp(-delta * delta * mean / (2.0 + delta)))
+
+
+def chernoff_lower_tail(mean: float, delta: float) -> float:
+    """Multiplicative Chernoff: ``P(X ≤ (1−δ)μ) ≤ exp(−δ²μ/2)`` for δ ∈ [0,1]."""
+    if mean < 0 or not 0 <= delta <= 1:
+        raise RegimeError("mean must be non-negative and delta in [0, 1]")
+    return min(1.0, math.exp(-delta * delta * mean / 2.0))
+
+
+def whp_probability(n: float, exponent: float = 1.0) -> float:
+    """The paper's "with high probability" scale: ``1 − n^(−exponent)``."""
+    if n < 2 or exponent <= 0:
+        raise RegimeError("need n >= 2 and a positive exponent")
+    return 1.0 - n ** (-exponent)
+
+
+def union_bound(probability: float, events: int) -> float:
+    """``min(1, events · probability)`` — the union bounds of §3."""
+    if probability < 0 or events < 0:
+        raise RegimeError("probability and events must be non-negative")
+    return min(1.0, probability * events)

@@ -1,0 +1,26 @@
+"""Workload generators: initial configurations and sweep grids."""
+
+from .initial import (
+    paper_bias,
+    paper_initial_configuration,
+    plateau_configuration,
+    plateau_gap_configuration,
+    random_multinomial_configuration,
+    two_block_configuration,
+    zipf_configuration,
+)
+from .sweeps import SweepPoint, bias_sweep, k_sweep, n_sweep_paper_schedule
+
+__all__ = [
+    "SweepPoint",
+    "bias_sweep",
+    "k_sweep",
+    "n_sweep_paper_schedule",
+    "paper_bias",
+    "paper_initial_configuration",
+    "plateau_configuration",
+    "plateau_gap_configuration",
+    "random_multinomial_configuration",
+    "two_block_configuration",
+    "zipf_configuration",
+]

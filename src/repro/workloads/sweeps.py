@@ -1,0 +1,92 @@
+"""Parameter sweep grids for the experiments.
+
+Experiments iterate over :class:`SweepPoint` grids.  The canonical
+grids are the fixed-``n`` k-sweep (Theorem 3.5 shape in ``k``), the
+n-sweep along the paper's ``k(n) = √n/(log n · log log n)`` schedule
+(Figure 1's regime), and bias sweeps around the ``√(n log n)``
+threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from ..errors import ExperimentError
+from ..theory.bounds import paper_k_schedule
+from .initial import paper_bias
+
+__all__ = ["SweepPoint", "k_sweep", "n_sweep_paper_schedule", "bias_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point of a parameter sweep.
+
+    Attributes
+    ----------
+    n, k:
+        Population size and number of opinions.
+    bias:
+        Initial majority bias.
+    label:
+        Short human-readable identifier for tables.
+    extras:
+        Free-form per-point parameters (e.g. the gap α for Lemma 3.4).
+    """
+
+    n: int
+    k: int
+    bias: int
+    label: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n < 2 or self.k < 1 or self.bias < 0:
+            raise ExperimentError(
+                f"invalid sweep point (n={self.n}, k={self.k}, bias={self.bias})"
+            )
+
+
+def k_sweep(
+    n: int,
+    ks: Iterable[int],
+    bias: Optional[int] = None,
+) -> List[SweepPoint]:
+    """Fixed ``n``, varying ``k`` — the Theorem 3.5 shape-in-k grid.
+
+    The bias defaults to the paper's ``√(n ln n)`` at each point.
+    """
+    points = []
+    for k in ks:
+        b = paper_bias(n) if bias is None else bias
+        points.append(SweepPoint(n=n, k=int(k), bias=b, label=f"k={k}"))
+    if not points:
+        raise ExperimentError("k_sweep needs at least one k value")
+    return points
+
+
+def n_sweep_paper_schedule(n_values: Sequence[int]) -> List[SweepPoint]:
+    """Varying ``n`` with ``k = paper_k_schedule(n)`` and bias ``√(n ln n)``."""
+    if not n_values:
+        raise ExperimentError("n sweep needs at least one population size")
+    points = []
+    for n in n_values:
+        k = paper_k_schedule(n)
+        points.append(
+            SweepPoint(n=int(n), k=k, bias=paper_bias(int(n)), label=f"n={n}")
+        )
+    return points
+
+
+def bias_sweep(
+    n: int,
+    k: int,
+    bias_values: Sequence[int],
+) -> List[SweepPoint]:
+    """Fixed ``(n, k)``, varying bias — the winner-correctness threshold grid."""
+    if not bias_values:
+        raise ExperimentError("bias sweep needs at least one bias value")
+    return [
+        SweepPoint(n=n, k=k, bias=int(b), label=f"bias={b}") for b in bias_values
+    ]

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite.
+
+All fixtures use tiny populations so the whole suite stays fast; the
+statistical equivalence tests pick their own (still small) sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Configuration, UndecidedStateDynamics
+
+
+@pytest.fixture
+def usd3() -> UndecidedStateDynamics:
+    """A 3-opinion USD protocol."""
+    return UndecidedStateDynamics(k=3)
+
+
+@pytest.fixture
+def usd5() -> UndecidedStateDynamics:
+    """A 5-opinion USD protocol."""
+    return UndecidedStateDynamics(k=5)
+
+
+@pytest.fixture
+def small_config() -> Configuration:
+    """A tiny 3-opinion configuration with a clear majority."""
+    return Configuration([50, 30, 20])
+
+
+@pytest.fixture
+def biased_config() -> Configuration:
+    """The paper's equal-minorities family at toy scale."""
+    return Configuration.equal_minorities_with_bias(n=500, k=5, bias=100)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests needing raw randomness."""
+    return np.random.Generator(np.random.PCG64(12345))

@@ -1,0 +1,129 @@
+"""Unit tests for the agent-level reference engine."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import AgentEngine, Configuration, GraphPairScheduler, SimulationError
+from repro.core.scheduler import UniformPairScheduler
+from repro.protocols import UndecidedStateDynamics
+
+
+def make_engine(k=3, counts=(0, 40, 35, 25), seed=0, **kwargs):
+    protocol = UndecidedStateDynamics(k=k)
+    return AgentEngine(protocol, np.array(counts), seed=seed, **kwargs)
+
+
+class TestConstruction:
+    def test_counts_materialised_into_states(self):
+        engine = make_engine()
+        states = engine.states
+        assert states.shape == (100,)
+        assert np.bincount(states, minlength=4).tolist() == [0, 40, 35, 25]
+
+    def test_rejects_wrong_count_length(self):
+        protocol = UndecidedStateDynamics(k=3)
+        with pytest.raises(SimulationError):
+            AgentEngine(protocol, np.array([1, 2, 3]))
+
+    def test_rejects_negative_counts(self):
+        protocol = UndecidedStateDynamics(k=3)
+        with pytest.raises(SimulationError):
+            AgentEngine(protocol, np.array([0, -1, 2, 3]))
+
+    def test_rejects_singleton_population(self):
+        protocol = UndecidedStateDynamics(k=3)
+        with pytest.raises(SimulationError):
+            AgentEngine(protocol, np.array([0, 1, 0, 0]))
+
+    def test_scheduler_size_must_match(self):
+        protocol = UndecidedStateDynamics(k=2)
+        with pytest.raises(SimulationError):
+            AgentEngine(
+                protocol,
+                np.array([0, 5, 5]),
+                scheduler=UniformPairScheduler(11),
+            )
+
+
+class TestStepping:
+    def test_population_is_conserved(self):
+        engine = make_engine(seed=3)
+        engine.step(500)
+        assert engine.counts.sum() == 100
+        assert engine.interactions == 500
+        assert engine.parallel_time == pytest.approx(5.0)
+
+    def test_counts_track_states(self):
+        engine = make_engine(seed=4)
+        engine.step(321)
+        assert np.array_equal(
+            np.bincount(engine.states, minlength=4), engine.counts
+        )
+
+    def test_step_zero_is_noop(self):
+        engine = make_engine()
+        engine.step(0)
+        assert engine.interactions == 0
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(SimulationError):
+            make_engine().step(-1)
+
+    def test_absorbed_engine_rolls_time_forward(self):
+        protocol = UndecidedStateDynamics(k=2)
+        engine = AgentEngine(protocol, np.array([0, 10, 0]), seed=0)
+        assert engine.is_absorbed
+        engine.step(50)
+        assert engine.interactions == 50
+        assert engine.counts.tolist() == [0, 10, 0]
+
+    def test_last_change_tracking(self):
+        engine = make_engine(seed=5)
+        assert engine.last_change_interaction is None
+        engine.step(200)
+        change = engine.last_change_interaction
+        assert change is not None and 1 <= change <= 200
+
+
+class TestGraphRestriction:
+    def test_disconnected_components_cannot_mix(self):
+        """Two cliques with different opinions and no crossing edges
+        never reach a shared consensus."""
+        graph = nx.disjoint_union(nx.complete_graph(5), nx.complete_graph(5))
+        protocol = UndecidedStateDynamics(k=2)
+        # agents 0..4 hold opinion 1, agents 5..9 opinion 2
+        counts = np.array([0, 5, 5])
+        engine = AgentEngine(
+            protocol, counts, seed=1, scheduler=GraphPairScheduler(graph)
+        )
+        engine.step(3000)
+        final = engine.counts
+        # no cross-edges: no cancellation is ever possible, so both
+        # opinions keep all five supporters.
+        assert final[1] == 5 and final[2] == 5
+
+    def test_star_graph_runs(self):
+        graph = nx.star_graph(6)  # node 0 is the hub
+        protocol = UndecidedStateDynamics(k=2)
+        engine = AgentEngine(
+            protocol, np.array([0, 4, 3]), seed=2, scheduler=GraphPairScheduler(graph)
+        )
+        engine.step(500)
+        assert engine.counts.sum() == 7
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self):
+        a = make_engine(seed=99)
+        b = make_engine(seed=99)
+        a.step(400)
+        b.step(400)
+        assert np.array_equal(a.counts, b.counts)
+
+    def test_different_seeds_diverge(self):
+        a = make_engine(seed=1)
+        b = make_engine(seed=2)
+        a.step(400)
+        b.step(400)
+        assert not np.array_equal(a.states, b.states)

@@ -1,0 +1,115 @@
+"""Unit tests for the τ-leaping batch engine."""
+
+import numpy as np
+import pytest
+
+from repro import BatchEngine, Configuration, SimulationError
+from repro.protocols import UndecidedStateDynamics
+
+
+def make_engine(k=3, counts=(0, 400, 350, 250), seed=0, **kwargs):
+    protocol = UndecidedStateDynamics(k=k)
+    return BatchEngine(protocol, np.array(counts), seed=seed, **kwargs)
+
+
+class TestConstruction:
+    def test_nominal_batch_scales_with_epsilon(self):
+        engine = make_engine(epsilon=0.01)
+        assert engine.nominal_batch_size == 10  # 0.01 × 1000
+        assert engine.epsilon == 0.01
+
+    def test_batch_at_least_one(self):
+        engine = make_engine(epsilon=1e-9)
+        assert engine.nominal_batch_size == 1
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(SimulationError):
+            make_engine(epsilon=0.0)
+        with pytest.raises(SimulationError):
+            make_engine(epsilon=1.5)
+
+
+class TestStepping:
+    def test_population_is_conserved(self):
+        engine = make_engine(seed=1)
+        engine.step(10_000)
+        assert engine.counts.sum() == 1000
+        assert engine.interactions == 10_000
+
+    def test_counts_stay_non_negative(self):
+        engine = make_engine(seed=2)
+        for _ in range(40):
+            engine.step(500)
+            assert np.all(engine.counts >= 0)
+
+    def test_exact_interaction_accounting_with_odd_steps(self):
+        engine = make_engine(seed=3)
+        engine.step(17)
+        engine.step(5)
+        engine.step(4321)
+        assert engine.interactions == 17 + 5 + 4321
+
+    def test_reaches_absorption(self):
+        engine = make_engine(counts=(0, 600, 200, 200), seed=4)
+        engine.step(5_000_000)
+        assert engine.is_absorbed
+        final = Configuration.from_state_counts(engine.counts)
+        assert final.is_stable()
+
+    def test_absorbed_rolls_time(self):
+        protocol = UndecidedStateDynamics(k=2)
+        engine = BatchEngine(protocol, np.array([0, 50, 0]), seed=0)
+        engine.step(1234)
+        assert engine.interactions == 1234
+        assert engine.counts.tolist() == [0, 50, 0]
+
+    def test_epsilon_one_still_valid(self):
+        """Even absurdly large batches must preserve invariants thanks to
+        the rejection-halving loop."""
+        engine = make_engine(seed=5, epsilon=1.0)
+        engine.step(20_000)
+        assert engine.counts.sum() == 1000
+        assert np.all(engine.counts >= 0)
+
+    def test_batch_size_recovers_after_rejection(self):
+        engine = make_engine(seed=6, epsilon=0.5)
+        engine.step(50_000)
+        # after many steps the internal batch should be back at nominal
+        # (or the run absorbed, where the batch no longer matters)
+        assert engine.is_absorbed or engine._batch >= 1
+
+
+class TestStatisticalSanity:
+    def test_undecided_growth_rate_matches_exact_engine(self):
+        """Mean u after a burst of interactions matches the counts engine
+        to within Monte-Carlo error (coarse 3-sigma band)."""
+        from repro import CountsEngine
+
+        protocol = UndecidedStateDynamics(k=3)
+        counts = np.array([0, 400, 350, 250])
+        horizon = 600
+        runs = 60
+        means = {}
+        for engine_cls in (CountsEngine, BatchEngine):
+            values = []
+            for index in range(runs):
+                engine = engine_cls(protocol, counts, seed=1000 + index)
+                engine.step(horizon)
+                values.append(engine.counts[0])
+            means[engine_cls.__name__] = (
+                np.mean(values),
+                np.std(values, ddof=1) / np.sqrt(runs),
+            )
+        exact_mean, exact_se = means["CountsEngine"]
+        batch_mean, batch_se = means["BatchEngine"]
+        tolerance = 3.5 * np.hypot(exact_se, batch_se)
+        assert abs(exact_mean - batch_mean) < tolerance
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self):
+        a = make_engine(seed=11)
+        b = make_engine(seed=11)
+        a.step(5000)
+        b.step(5000)
+        assert np.array_equal(a.counts, b.counts)

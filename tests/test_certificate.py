@@ -1,0 +1,101 @@
+"""Unit tests for repro.theory.certificate (the Theorem 3.5 checklist)."""
+
+import math
+
+import pytest
+
+from repro import RegimeError
+from repro.theory import certify_lower_bound
+from repro.theory.bounds import max_initial_bias
+
+
+class TestCertificateStructure:
+    def test_default_bias_is_cap(self):
+        certificate = certify_lower_bound(1e8, 30)
+        assert certificate.bias == pytest.approx(max_initial_bias(1e8, 30))
+
+    def test_gap_doubles_per_epoch(self):
+        certificate = certify_lower_bound(1e10, 100)
+        for epoch in certificate.epochs:
+            assert epoch.gap_out == pytest.approx(2 * epoch.gap_in)
+        for previous, current in zip(certificate.epochs, certificate.epochs[1:]):
+            assert current.gap_in == pytest.approx(previous.gap_out)
+
+    def test_certified_epochs_is_prefix(self):
+        certificate = certify_lower_bound(1e14, 1000)
+        count = certificate.certified_epochs
+        for epoch in certificate.epochs[:count]:
+            assert epoch.all_hold
+        if count < len(certificate.epochs):
+            assert not certificate.epochs[count].all_hold
+
+    def test_certified_interactions_composition(self):
+        certificate = certify_lower_bound(1e14, 1000)
+        assert certificate.certified_interactions == pytest.approx(
+            certificate.certified_epochs * 1000 * 1e14 / 25
+        )
+        assert certificate.certified_parallel_time == pytest.approx(
+            certificate.certified_interactions / 1e14
+        )
+
+    def test_rows_match_epochs(self):
+        certificate = certify_lower_bound(1e8, 30)
+        rows = certificate.rows()
+        assert len(rows) == len(certificate.epochs)
+        assert rows[0]["epoch"] == 0
+        assert set(rows[0]) == {
+            "epoch",
+            "gap_in",
+            "gap_out",
+            "invariant",
+            "alpha_window",
+            "lemma32_cond",
+            "all_hold",
+        }
+
+
+class TestCertificateSemantics:
+    def test_finite_n_certifies_few_epochs(self):
+        """At the Figure 1 scale the explicit constants certify ~0 epochs
+        — the honest finite-n reading of an asymptotic bound."""
+        certificate = certify_lower_bound(1e6, 27)
+        assert certificate.certified_epochs <= 1
+
+    def test_certified_approaches_asymptotic_as_n_grows(self):
+        """Deep in the regime the certified count converges to ℓ_max."""
+        certificate = certify_lower_bound(1e14, 1000)
+        assert certificate.certified_epochs >= 1
+        assert certificate.certified_epochs >= certificate.asymptotic_epochs - 1.5
+
+    def test_small_bias_fails_alpha_window(self):
+        """Biases below √(n log n) cannot start the induction: Lemma 3.4
+        needs gaps ω(√(n log n))."""
+        n, k = 1e10, 100
+        tiny = 0.01 * math.sqrt(n * math.log(n))
+        certificate = certify_lower_bound(n, k, bias=tiny)
+        assert not certificate.epochs[0].alpha_in_window
+        assert certificate.certified_epochs == 0
+
+    def test_epoch_enumeration_stops_after_invariant_break(self):
+        certificate = certify_lower_bound(1e8, 30)
+        broken = [e for e in certificate.epochs if not e.gap_below_invariant]
+        assert len(broken) <= 1  # at most the final, breaking epoch
+
+    def test_validation(self):
+        with pytest.raises(RegimeError):
+            certify_lower_bound(4, 30)
+        with pytest.raises(RegimeError):
+            certify_lower_bound(1e8, 1)
+        with pytest.raises(RegimeError):
+            certify_lower_bound(1e8, 30, bias=0)
+
+
+class TestCertificateCli:
+    def test_cli_certify(self, capsys):
+        from repro.cli import main
+
+        assert main(["certify", "--n", "1e10", "--k", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 3.5 certificate" in out
+        assert "certified epochs" in out
+        assert "induction epochs" in out

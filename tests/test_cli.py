@@ -1,0 +1,61 @@
+"""Unit tests for the repro command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_overrides
+from repro.errors import ReproError
+
+
+class TestParseOverrides:
+    def test_literals(self):
+        overrides = parse_overrides(["n=5000", "epsilon=0.01", "ks=(2,4)"])
+        assert overrides == {"n": 5000, "epsilon": 0.01, "ks": (2, 4)}
+
+    def test_bare_strings_kept(self):
+        assert parse_overrides(["engine=batch"]) == {"engine": "batch"}
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ReproError):
+            parse_overrides(["n5000"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1-left" in out
+        assert "thm35-scaling" in out
+
+    def test_run_with_overrides(self, capsys, tmp_path):
+        code = main(
+            [
+                "run",
+                "engine-throughput",
+                "--set", "n=600",
+                "--set", "k=3",
+                "--set", "num_seeds=2",
+                "--set", "throughput_interactions=2000",
+                "--set", "throughput_n=1000",
+                "--out", str(tmp_path),
+                "--no-plots",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "agent" in out and "batch" in out
+        assert (tmp_path / "engine-throughput.json").exists()
+
+    def test_run_unknown_experiment_fails(self, capsys):
+        assert main(["run", "nope"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_bad_override_fails(self, capsys):
+        assert main(["run", "fig1-left", "--set", "bogus=1"]) == 1
+        assert "unknown parameters" in capsys.readouterr().err
+
+    def test_fig1_parser_accepts_flags(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["fig1", "--full", "--panel", "right"])
+        assert args.full and args.panel == "right"

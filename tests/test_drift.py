@@ -1,0 +1,125 @@
+"""Unit tests for repro.theory.drift — the proof algebra vs the simulator."""
+
+import numpy as np
+import pytest
+
+from repro import Configuration
+from repro.errors import ConfigurationError
+from repro.theory import (
+    drift_field,
+    estimate_drift_empirically,
+    expected_gap_change,
+    expected_opinion_change,
+    expected_undecided_change,
+    gap_step_probabilities,
+    opinion_step_probabilities,
+    undecided_step_probabilities,
+)
+from repro.theory.drift import DriftEstimate
+
+
+class TestClosedForms:
+    def test_undecided_probabilities_by_hand(self):
+        """n=10: x=(4,3), u=3; hand-computed pair weights."""
+        config = Configuration([4, 3], undecided=3)
+        p_up, p_down = undecided_step_probabilities(config)
+        # cancellation: ordered pairs across opinions: 2·4·3 = 24
+        assert p_up == pytest.approx(24 / 90)
+        # recruitment: 2·u·(decided) = 2·3·7 = 42
+        assert p_down == pytest.approx(42 / 90)
+        assert expected_undecided_change(config) == pytest.approx(
+            (2 * 24 - 42) / 90
+        )
+
+    def test_opinion_probabilities_by_hand(self):
+        config = Configuration([4, 3], undecided=3)
+        p_up, p_down = opinion_step_probabilities(config, 1)
+        assert p_up == pytest.approx(2 * 4 * 3 / 90)  # meet undecided
+        assert p_down == pytest.approx(2 * 4 * 3 / 90)  # meet opinion 2
+
+    def test_opinion_drift_sign_follows_threshold(self):
+        """x_i grows in expectation iff u > (n − x_i)/2 — the §2 threshold."""
+        n = 1000
+        x_i = 200
+        threshold = (n - x_i) / 2  # 400
+        above = Configuration([x_i, n - x_i - 500], undecided=500)
+        below = Configuration([x_i, n - x_i - 300], undecided=300)
+        assert expected_opinion_change(above, 1) > 0
+        assert expected_opinion_change(below, 1) < 0
+        at = Configuration([x_i, n - x_i - int(threshold)], undecided=int(threshold))
+        assert expected_opinion_change(at, 1) == pytest.approx(0.0)
+
+    def test_gap_drift_proportional_to_gap(self):
+        """E[ΔΔ_ij] = 2·Δ_ij·(2u − n + x_i + x_j)/(n(n−1)) — Lemma 3.4's
+        factorisation."""
+        config = Configuration([300, 200, 100], undecided=400)
+        n = config.n
+        expected = (
+            2.0 * (300 - 200) * (2 * 400 - n + 300 + 200) / (n * (n - 1))
+        )
+        assert expected_gap_change(config, 1, 2) == pytest.approx(expected)
+
+    def test_gap_antisymmetric(self):
+        config = Configuration([300, 200, 100], undecided=400)
+        assert expected_gap_change(config, 1, 2) == pytest.approx(
+            -expected_gap_change(config, 2, 1)
+        )
+
+    def test_gap_needs_distinct_opinions(self):
+        with pytest.raises(ConfigurationError):
+            gap_step_probabilities(Configuration([5, 5]), 1, 1)
+
+    def test_equal_supports_have_zero_gap_drift(self):
+        config = Configuration([250, 250], undecided=500)
+        assert expected_gap_change(config, 1, 2) == pytest.approx(0.0)
+
+    def test_drift_field_consistency(self):
+        config = Configuration([40, 30, 20], undecided=10)
+        field = drift_field(config)
+        assert field[0] == pytest.approx(expected_undecided_change(config))
+        for opinion in (1, 2, 3):
+            assert field[opinion] == pytest.approx(
+                expected_opinion_change(config, opinion)
+            )
+
+    def test_drift_field_conserves_mass(self):
+        """E[Δu] + Σ E[Δx_i] = 0: every interaction conserves agents."""
+        config = Configuration([40, 30, 20], undecided=10)
+        assert drift_field(config).sum() == pytest.approx(0.0, abs=1e-15)
+
+
+class TestEmpiricalCrossValidation:
+    """Monte-Carlo one-step sampling must agree with the closed forms."""
+
+    @pytest.fixture(scope="class")
+    def config(self):
+        return Configuration.equal_minorities_with_bias(n=600, k=4, bias=80)
+
+    def test_undecided_drift(self, config):
+        estimate = estimate_drift_empirically(
+            config, "undecided", samples=2500, seed=1
+        )
+        assert estimate.consistent_with(expected_undecided_change(config))
+
+    def test_opinion_drift(self, config):
+        estimate = estimate_drift_empirically(
+            config, "opinion", samples=2500, seed=2, opinion=1
+        )
+        assert estimate.consistent_with(expected_opinion_change(config, 1))
+
+    def test_gap_drift(self, config):
+        estimate = estimate_drift_empirically(
+            config, "gap", samples=2500, seed=3, opinion=1, other=2
+        )
+        assert estimate.consistent_with(expected_gap_change(config, 1, 2))
+
+    def test_unknown_quantity_rejected(self, config):
+        with pytest.raises(ConfigurationError):
+            estimate_drift_empirically(config, "entropy")
+
+
+class TestDriftEstimate:
+    def test_consistency_band(self):
+        estimate = DriftEstimate(mean=1.0, std_error=0.1, samples=100)
+        assert estimate.consistent_with(1.2, sigmas=3)
+        assert not estimate.consistent_with(2.0, sigmas=3)

@@ -1,0 +1,126 @@
+"""Cross-engine equivalence: the heart of the methodology.
+
+The agent engine is the ground truth.  The counts engine must match it
+*exactly in distribution* (same process, different representation); the
+batch engine must match within its O(B/n) τ-leaping error.  We check
+first moments of several observables after a fixed number of
+interactions, over independent-seed ensembles, with generous
+multiple-of-standard-error tolerances so the suite is stable.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AgentEngine, BatchEngine, CountsEngine
+from repro.protocols import UndecidedStateDynamics
+
+N = 300
+K = 3
+COUNTS = np.array([0, 130, 100, 70])
+HORIZON = 450  # 1.5 parallel times: mid-ramp, far from absorption
+RUNS = 120
+
+
+def ensemble_moments(engine_cls, **kwargs):
+    protocol = UndecidedStateDynamics(k=K)
+    undecided, majority, gaps = [], [], []
+    for index in range(RUNS):
+        engine = engine_cls(protocol, COUNTS, seed=5000 + index, **kwargs)
+        engine.step(HORIZON)
+        counts = engine.counts
+        undecided.append(counts[0])
+        majority.append(counts[1])
+        gaps.append(counts[1] - counts[3])
+    out = {}
+    for name, values in (
+        ("undecided", undecided),
+        ("majority", majority),
+        ("gap", gaps),
+    ):
+        arr = np.asarray(values, dtype=float)
+        out[name] = (arr.mean(), arr.std(ddof=1) / np.sqrt(RUNS))
+    return out
+
+
+@pytest.fixture(scope="module")
+def agent_moments():
+    return ensemble_moments(AgentEngine)
+
+
+@pytest.fixture(scope="module")
+def counts_moments():
+    return ensemble_moments(CountsEngine)
+
+
+@pytest.fixture(scope="module")
+def batch_moments():
+    return ensemble_moments(BatchEngine, epsilon=0.01)
+
+
+def assert_close(a, b, sigmas=4.0):
+    mean_a, se_a = a
+    mean_b, se_b = b
+    tolerance = sigmas * float(np.hypot(se_a, se_b))
+    assert abs(mean_a - mean_b) < max(tolerance, 1e-9), (
+        f"means {mean_a:.2f} vs {mean_b:.2f} differ by more than "
+        f"{sigmas}σ = {tolerance:.2f}"
+    )
+
+
+class TestCountsMatchesAgent:
+    """Counts engine is exact: every observable's mean must agree."""
+
+    def test_undecided(self, agent_moments, counts_moments):
+        assert_close(agent_moments["undecided"], counts_moments["undecided"])
+
+    def test_majority(self, agent_moments, counts_moments):
+        assert_close(agent_moments["majority"], counts_moments["majority"])
+
+    def test_gap(self, agent_moments, counts_moments):
+        assert_close(agent_moments["gap"], counts_moments["gap"])
+
+
+class TestBatchMatchesAgent:
+    """τ-leaping at ε=0.01 matches within the same statistical band."""
+
+    def test_undecided(self, agent_moments, batch_moments):
+        assert_close(agent_moments["undecided"], batch_moments["undecided"])
+
+    def test_majority(self, agent_moments, batch_moments):
+        assert_close(agent_moments["majority"], batch_moments["majority"])
+
+    def test_gap(self, agent_moments, batch_moments):
+        assert_close(agent_moments["gap"], batch_moments["gap"])
+
+
+class TestStabilizationDistribution:
+    """Median stabilization times agree across engines on a toy workload."""
+
+    @pytest.mark.parametrize("engine_cls", [CountsEngine, BatchEngine])
+    def test_median_matches_agent(self, engine_cls):
+        from repro import Configuration, simulate
+
+        protocol = UndecidedStateDynamics(k=2)
+        config = Configuration([70, 30])
+        runs = 40
+
+        def medians(cls_name):
+            times = []
+            for index in range(runs):
+                result = simulate(
+                    protocol,
+                    config,
+                    engine=cls_name,
+                    seed=900 + index,
+                    max_parallel_time=10_000,
+                )
+                assert result.stabilized
+                times.append(result.stabilization_parallel_time)
+            return np.median(times)
+
+        reference = medians("agent")
+        other = medians(
+            "counts" if engine_cls is CountsEngine else "batch"
+        )
+        # medians of a ~log n-spread distribution: 35% tolerance is ample
+        assert abs(reference - other) / reference < 0.35

@@ -1,0 +1,99 @@
+"""Tests for the shared BaseEngine.run loop semantics."""
+
+import numpy as np
+import pytest
+
+from repro import CountsEngine, SimulationError, TrajectoryRecorder
+from repro.core import stopping
+from repro.protocols import UndecidedStateDynamics
+
+
+def make_engine(counts=(0, 60, 40), seed=0):
+    protocol = UndecidedStateDynamics(k=len(counts) - 1)
+    return protocol, CountsEngine(protocol, np.array(counts), seed=seed)
+
+
+class TestRunLoop:
+    def test_snapshot_cadence(self):
+        _, engine = make_engine()
+        recorder = TrajectoryRecorder()
+        engine.run(100, snapshot_every=25, recorder=recorder)
+        trace = recorder.build(
+            n=engine.n, state_names=("a", "b", "c"), protocol_name="p"
+        )
+        # initial + one per chunk (minus duplicates when absorbed early)
+        assert trace.times[0] == 0
+        assert np.all(np.diff(trace.times) <= 25)
+
+    def test_default_cadence_is_half_round(self):
+        _, engine = make_engine()
+        recorder = TrajectoryRecorder()
+        engine.run(100, recorder=recorder)  # n = 100 → chunk 50
+        trace = recorder.build(
+            n=engine.n, state_names=("a", "b", "c"), protocol_name="p"
+        )
+        assert list(trace.times) == [0, 50, 100] or len(trace) <= 3
+
+    def test_stop_checked_at_chunk_granularity(self):
+        protocol, engine = make_engine(seed=5)
+        engine.run(
+            10_000,
+            snapshot_every=10,
+            stop=stopping.undecided_reached(protocol, 5),
+        )
+        # stopped at some multiple of 10 interactions once u >= 5
+        assert engine.counts[0] >= 5
+        assert engine.interactions % 10 == 0 or engine.is_absorbed
+
+    def test_run_stops_at_absorption(self):
+        _, engine = make_engine(counts=(0, 99, 1), seed=1)
+        engine.run(10_000_000, snapshot_every=1000)
+        assert engine.is_absorbed
+        # loop must not have continued pointlessly past absorption
+        assert engine.interactions <= 10_000_000
+
+    def test_run_rejects_past_horizon(self):
+        _, engine = make_engine()
+        engine.step(50)
+        with pytest.raises(SimulationError):
+            engine.run(10)
+
+    def test_run_rejects_bad_cadence(self):
+        _, engine = make_engine()
+        with pytest.raises(SimulationError):
+            engine.run(100, snapshot_every=0)
+
+    def test_resume_after_run(self):
+        _, engine = make_engine(seed=2)
+        engine.run(40, snapshot_every=20)
+        first = engine.interactions
+        if not engine.is_absorbed:
+            engine.run(80, snapshot_every=20)
+            assert engine.interactions >= first
+
+    def test_recorder_gets_initial_snapshot_only_once(self):
+        _, engine = make_engine()
+        recorder = TrajectoryRecorder()
+        engine.run(20, snapshot_every=10, recorder=recorder)
+        times = [t for t in recorder._times]
+        assert times.count(0) == 1
+
+
+class TestSimulateWithScheduler:
+    def test_graph_scheduler_through_simulate(self):
+        """Engine kwargs (like a custom scheduler) flow through simulate."""
+        import networkx as nx
+
+        from repro import GraphPairScheduler, simulate
+
+        protocol = UndecidedStateDynamics(k=2)
+        scheduler = GraphPairScheduler(nx.cycle_graph(30))
+        result = simulate(
+            protocol,
+            np.array([0, 20, 10]),
+            engine="agent",
+            seed=3,
+            max_parallel_time=50.0,
+            scheduler=scheduler,
+        )
+        assert result.final_counts.sum() == 30

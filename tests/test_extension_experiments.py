@@ -1,0 +1,87 @@
+"""Unit tests for the extension experiments (ensemble, topology, log n)."""
+
+import pytest
+
+from repro.core.scheduler import GraphPairScheduler, UniformPairScheduler
+from repro.experiments import (
+    BinaryLogNExperiment,
+    Figure1EnsembleExperiment,
+    GraphTopologyExperiment,
+    TOPOLOGIES,
+    build_scheduler,
+)
+
+
+class TestBuildScheduler:
+    def test_clique_is_uniform(self):
+        scheduler = build_scheduler("clique", 50, seed=0)
+        assert isinstance(scheduler, UniformPairScheduler)
+
+    def test_graph_topologies(self):
+        for name in ("random-regular(8)", "cycle", "star"):
+            scheduler = build_scheduler(name, 50, seed=1)
+            assert isinstance(scheduler, GraphPairScheduler)
+            assert scheduler.n == 50
+
+    def test_random_regular_degree_parity(self):
+        # odd n × odd degree would be invalid; builder must fix parity
+        scheduler = build_scheduler("random-regular(8)", 51, seed=2)
+        assert scheduler.n == 51
+
+    def test_unknown_topology(self):
+        with pytest.raises(ValueError):
+            build_scheduler("hypercube", 16, seed=0)
+
+    def test_registry_names(self):
+        assert set(TOPOLOGIES) == {"clique", "random-regular(8)", "cycle", "star"}
+
+
+class TestGraphTopologyExperiment:
+    def test_small_run(self):
+        result = GraphTopologyExperiment(
+            n=120,
+            k=3,
+            num_seeds=2,
+            topologies=("clique", "star"),
+            max_parallel_time=2_000.0,
+        ).run()
+        by_name = {row["topology"]: row for row in result.rows}
+        assert by_name["clique"]["stabilized_runs"] == 2
+        assert by_name["clique"]["slowdown_vs_clique"] == pytest.approx(1.0)
+        assert by_name["star"]["median_parallel_time"] > 0
+
+
+class TestFigure1Ensemble:
+    def test_small_ensemble(self):
+        result = Figure1EnsembleExperiment(
+            n=3_000, k=4, num_seeds=4, engine="counts", max_parallel_time=500.0
+        ).run()
+        row = result.rows[0]
+        assert row["runs"] == 4
+        assert 0.0 <= row["majority_win_fraction"] <= 1.0
+        assert row["stab_time_min"] <= row["stab_time_median"] <= row["stab_time_max"]
+        assert set(result.series) >= {
+            "grid",
+            "undecided_mean",
+            "undecided_lower",
+            "undecided_upper",
+            "stab_times",
+        }
+        # band ordering everywhere
+        assert (result.series["undecided_lower"] <= result.series["undecided_upper"]).all()
+
+
+class TestBinaryLogN:
+    def test_small_sweep(self):
+        result = BinaryLogNExperiment(
+            n_values=(1_000, 2_000, 4_000),
+            num_seeds=3,
+            engine="counts",
+            max_parallel_time=1_000.0,
+        ).run()
+        assert len(result.rows) == 3
+        for row in result.rows:
+            assert row["censored_runs"] == 0
+            assert row["median_parallel_time"] > 0
+            assert "fit_c_ln_n" in row
+        assert any("c·ln n" in note or "ln n" in note for note in result.notes)

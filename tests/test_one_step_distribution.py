@@ -1,0 +1,92 @@
+"""Exact one-interaction distribution checks.
+
+For a small configuration the law of the next *configuration change*
+under USD is fully known in closed form.  These tests draw many single
+steps from each engine and compare the empirical transition frequencies
+against the exact probabilities — a distribution-level (not just
+first-moment) equivalence check.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AgentEngine, BatchEngine, CountsEngine
+from repro.protocols import UndecidedStateDynamics
+
+#: Configuration under test: u = 4, x = (6, 5, 3), n = 18.
+COUNTS = np.array([4, 6, 5, 3])
+N = int(COUNTS.sum())
+SAMPLES = 6000
+
+
+def exact_transition_distribution():
+    """Map (state-count tuple after one interaction) → probability."""
+    protocol = UndecidedStateDynamics(k=3)
+    table = protocol.table
+    size = protocol.num_states
+    denominator = N * (N - 1)
+    distribution = {}
+    for a in range(size):
+        for b in range(size):
+            weight = COUNTS[a] * (COUNTS[b] - (1 if a == b else 0))
+            if weight == 0:
+                continue
+            delta = table.delta_of(a, b)
+            outcome = tuple((COUNTS + delta).tolist())
+            distribution[outcome] = distribution.get(outcome, 0.0) + weight / denominator
+    return distribution
+
+
+def empirical_transition_distribution(engine_cls, **kwargs):
+    protocol = UndecidedStateDynamics(k=3)
+    outcomes = {}
+    for seed in range(SAMPLES):
+        engine = engine_cls(protocol, COUNTS, seed=seed, **kwargs)
+        engine.step(1)
+        outcome = tuple(engine.counts.tolist())
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+    return {key: value / SAMPLES for key, value in outcomes.items()}
+
+
+@pytest.fixture(scope="module")
+def exact():
+    dist = exact_transition_distribution()
+    assert sum(dist.values()) == pytest.approx(1.0)
+    return dist
+
+
+@pytest.mark.parametrize(
+    "engine_cls,kwargs",
+    [
+        (AgentEngine, {}),
+        (CountsEngine, {}),
+        (BatchEngine, {"epsilon": 1e-9}),  # batch of 1 = exact single step
+    ],
+)
+def test_one_step_distribution_matches(exact, engine_cls, kwargs):
+    empirical = empirical_transition_distribution(engine_cls, **kwargs)
+    # every empirical outcome must be a legal outcome
+    assert set(empirical) <= set(exact)
+    # frequencies within 4 binomial standard errors of the exact values
+    for outcome, probability in exact.items():
+        observed = empirical.get(outcome, 0.0)
+        std_error = np.sqrt(probability * (1 - probability) / SAMPLES)
+        assert abs(observed - probability) < 4 * std_error + 1e-9, (
+            f"{engine_cls.__name__}: outcome {outcome} has frequency "
+            f"{observed:.4f}, expected {probability:.4f}"
+        )
+
+
+def test_exact_distribution_structure(exact):
+    """Sanity on the closed form itself: outcomes are the 3 event types."""
+    base = tuple(COUNTS.tolist())
+    outcomes = set(exact)
+    # null outcome (same-state meetings) present with its exact mass:
+    null_weight = sum(
+        COUNTS[a] * (COUNTS[a] - 1) for a in range(4)
+    ) / (N * (N - 1))
+    assert exact[base] == pytest.approx(null_weight)
+    # cancellations produce u+2; recruitments u−1 with one opinion +1
+    for outcome in outcomes - {base}:
+        du = outcome[0] - COUNTS[0]
+        assert du in (2, -1)

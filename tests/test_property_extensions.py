@@ -1,0 +1,95 @@
+"""Property-based tests for the extension modules (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CountsEngine
+from repro.protocols import HysteresisUSD
+from repro.theory import certify_lower_bound
+
+
+class TestHysteresisProperties:
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_transition_closure(self, k, r):
+        """Every transition output stays in the alphabet, and the output
+        map never changes except through ⊥ or adoption."""
+        protocol = HysteresisUSD(k=k, r=r)
+        size = protocol.num_states
+        for a in range(size):
+            for b in range(size):
+                new_a, new_b = protocol.transition(a, b)
+                assert 0 <= new_a < size and 0 <= new_b < size
+                # opinions never mutate directly into other opinions:
+                for before, after in ((a, new_a), (b, new_b)):
+                    out_before = protocol.output(before)
+                    out_after = protocol.output(after)
+                    if out_before != 0 and out_after != 0:
+                        assert out_before == out_after
+
+    @given(
+        st.integers(min_value=2, max_value=3),
+        st.integers(min_value=1, max_value=3),
+        st.lists(st.integers(0, 40), min_size=3, max_size=4).filter(
+            lambda xs: sum(xs) >= 2
+        ),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_opinion_totals_change_like_usd(self, k, r, raw, seed):
+        """Decoded opinion totals obey the USD step laws: x_i moves by
+        at most 1 per interaction and dead opinions stay dead."""
+        counts_vec = raw[: k + 1]
+        if len(counts_vec) < k + 1:
+            counts_vec = counts_vec + [1] * (k + 1 - len(counts_vec))
+        protocol = HysteresisUSD(k=k, r=r)
+        state_counts = np.zeros(protocol.num_states, dtype=np.int64)
+        state_counts[0] = counts_vec[0]
+        for opinion in range(1, k + 1):
+            state_counts[protocol.pack(opinion, r)] = counts_vec[opinion]
+        if state_counts.sum() < 2:
+            return
+        engine = CountsEngine(protocol, state_counts, seed=seed)
+        dead = [
+            opinion
+            for opinion in range(1, k + 1)
+            if counts_vec[opinion] == 0
+        ]
+        previous = protocol.decode_counts(engine.counts)
+        for _ in range(30):
+            engine.step(1)
+            current = protocol.decode_counts(engine.counts)
+            assert current.n == previous.n
+            for opinion in range(1, k + 1):
+                assert abs(current.x(opinion) - previous.x(opinion)) <= 1
+            for opinion in dead:
+                assert current.x(opinion) == 0
+            previous = current
+
+
+class TestCertificateProperties:
+    @given(
+        st.floats(min_value=1e6, max_value=1e16),
+        st.integers(min_value=2, max_value=500),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_certificate_internal_consistency(self, n, k):
+        certificate = certify_lower_bound(n, k)
+        assert certificate.certified_epochs <= len(certificate.epochs)
+        assert certificate.certified_interactions >= 0
+        # certified never exceeds the asymptotic count by more than one
+        # epoch (the last partial epoch rounds differently)
+        assert certificate.certified_epochs <= certificate.asymptotic_epochs + 1
+        for epoch in certificate.epochs:
+            assert epoch.gap_out == 2 * epoch.gap_in
+
+    @given(st.integers(min_value=2, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_certified_monotone_in_n(self, k):
+        """More agents never certify fewer epochs (fixed k, cap bias)."""
+        small = certify_lower_bound(1e8, k).certified_epochs
+        large = certify_lower_bound(1e14, k).certified_epochs
+        assert large >= small

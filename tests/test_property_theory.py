@@ -1,0 +1,102 @@
+"""Property-based tests on theory-module invariants (hypothesis)."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Configuration
+from repro.gossip import monochromatic_distance, three_majority_distribution
+from repro.theory import (
+    drift_field,
+    expected_gap_change,
+    lemma32_tail_bound,
+    simulate_coupled_walks,
+)
+
+config_strategy = st.builds(
+    Configuration,
+    st.lists(st.integers(1, 500), min_size=2, max_size=8),
+    undecided=st.integers(0, 500),
+)
+
+
+class TestDriftProperties:
+    @given(config_strategy)
+    @settings(max_examples=200)
+    def test_drift_conserves_mass(self, config):
+        assert abs(drift_field(config).sum()) < 1e-12
+
+    @given(config_strategy, st.data())
+    def test_gap_drift_sign_tracks_gap_sign(self, config, data):
+        i = data.draw(st.integers(1, config.k))
+        j = data.draw(st.integers(1, config.k).filter(lambda v: v != i))
+        drift = expected_gap_change(config, i, j)
+        gap = config.gap(i, j)
+        factor = 2 * config.undecided - config.n + config.x(i) + config.x(j)
+        # drift = 2·gap·factor/(n(n−1)): sign must multiply out.
+        assert math.copysign(1, drift) == math.copysign(1, gap * factor) or (
+            drift == 0 or gap == 0 or factor == 0
+        )
+
+    @given(config_strategy, st.data())
+    def test_gap_drift_antisymmetry(self, config, data):
+        i = data.draw(st.integers(1, config.k))
+        j = data.draw(st.integers(1, config.k).filter(lambda v: v != i))
+        assert expected_gap_change(config, i, j) == -expected_gap_change(
+            config, j, i
+        )
+
+
+class TestWalkProperties:
+    @given(
+        st.floats(0.05, 1.0),
+        st.floats(0.0, 0.04),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_coupling_domination(self, p, q_cap, seed):
+        walk, majorant = simulate_coupled_walks(
+            p=p, q=lambda t: q_cap * math.sin(t), q_cap=q_cap, steps=300, seed=seed
+        )
+        assert np.all(majorant >= walk)
+        assert abs(int(walk[-1])) <= 300
+
+    @given(
+        st.floats(10.0, 1000.0),
+        st.floats(0.2, 1.0),
+        st.floats(0.001, 0.1),
+        st.floats(0.0, 10_000.0),
+    )
+    def test_tail_bound_is_probability(self, target, p, q, steps):
+        if q > p:
+            return
+        value = lemma32_tail_bound(target, p, q, steps)
+        assert 0.0 <= value <= 1.0
+
+
+class TestGossipProperties:
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=8).filter(sum))
+    def test_three_majority_distribution_is_stochastic(self, counts):
+        p = np.asarray(counts, dtype=float)
+        p /= p.sum()
+        q = three_majority_distribution(p)
+        assert q.min() >= -1e-9
+        assert q.sum() == np.float64(1.0) or abs(q.sum() - 1.0) < 1e-9
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=8).filter(sum))
+    def test_three_majority_preserves_zeros(self, counts):
+        p = np.asarray(counts, dtype=float)
+        p /= p.sum()
+        q = three_majority_distribution(p)
+        assert np.all(q[p == 0] <= 1e-12)
+
+    @given(
+        st.lists(st.integers(0, 1000), min_size=1, max_size=10).filter(
+            lambda xs: max(xs) > 0
+        )
+    )
+    def test_monochromatic_distance_bounds(self, counts):
+        md = monochromatic_distance(Configuration(counts))
+        assert 1.0 - 1e-9 <= md <= len(counts) + 1e-9

@@ -1,0 +1,152 @@
+"""Unit tests for repro.theory.random_walks (Lemma 3.2 machinery)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import RegimeError
+from repro.theory import (
+    LazyRandomWalk,
+    estimate_hitting_time,
+    lemma32_condition_threshold,
+    lemma32_survival_steps,
+    lemma32_tail_bound,
+    simulate_coupled_walks,
+)
+
+
+class TestLazyRandomWalk:
+    def test_probabilities_validation(self):
+        walk = LazyRandomWalk(p=0.5, q=0.1)
+        stay, up, down = walk.probabilities(0)
+        assert stay == pytest.approx(0.5)
+        assert up == pytest.approx(0.3)
+        assert down == pytest.approx(0.2)
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(RegimeError):
+            LazyRandomWalk(p=1.5, q=0.1).probabilities(0)
+
+    def test_q_exceeding_p_rejected(self):
+        with pytest.raises(RegimeError):
+            LazyRandomWalk(p=0.1, q=0.2).probabilities(0)
+
+    def test_time_varying_parameters(self):
+        walk = LazyRandomWalk(p=lambda t: 0.5, q=lambda t: 0.01 * (t % 2))
+        trajectory = walk.simulate(100, seed=0)
+        assert trajectory.shape == (101,)
+        assert trajectory[0] == 0
+
+    def test_steps_are_plus_minus_one_or_zero(self):
+        walk = LazyRandomWalk(p=0.7, q=0.0)
+        trajectory = walk.simulate(500, seed=1)
+        diffs = np.diff(trajectory)
+        assert set(np.unique(diffs)) <= {-1, 0, 1}
+
+    def test_laziness_fraction(self):
+        walk = LazyRandomWalk(p=0.2, q=0.0)
+        trajectory = walk.simulate(5000, seed=2)
+        moves = np.count_nonzero(np.diff(trajectory))
+        assert abs(moves / 5000 - 0.2) < 0.03
+
+    def test_drift_matches_q(self):
+        walk = LazyRandomWalk(p=0.5, q=0.1)
+        finals = [walk.simulate(1000, seed=s)[-1] for s in range(60)]
+        # E[Y(1000)] = 1000·q = 100; σ per step ≈ √p
+        assert abs(np.mean(finals) - 100) < 4 * math.sqrt(0.5 * 1000 / 60) + 10
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(RegimeError):
+            LazyRandomWalk(p=0.5, q=0.0).simulate(-1)
+
+    def test_first_hitting_time(self):
+        walk = LazyRandomWalk(p=1.0, q=1.0)  # deterministic +1 each step
+        assert walk.first_hitting_time(10, max_steps=100, seed=0) == 10
+
+    def test_first_hitting_time_censored(self):
+        walk = LazyRandomWalk(p=1.0, q=-1.0)  # deterministic −1 each step
+        assert walk.first_hitting_time(5, max_steps=50, seed=0) is None
+
+
+class TestCoupling:
+    def test_majorant_dominates_pointwise(self):
+        for seed in range(5):
+            walk, majorant = simulate_coupled_walks(
+                p=0.6,
+                q=lambda t: 0.05 * math.sin(t / 10.0),
+                q_cap=0.05,
+                steps=2000,
+                seed=seed,
+            )
+            assert np.all(majorant >= walk)
+
+    def test_equal_drift_couples_identically(self):
+        walk, majorant = simulate_coupled_walks(
+            p=0.5, q=0.02, q_cap=0.02, steps=1000, seed=3
+        )
+        assert np.array_equal(walk, majorant)
+
+    def test_q_above_cap_rejected(self):
+        with pytest.raises(RegimeError):
+            simulate_coupled_walks(p=0.5, q=0.1, q_cap=0.05, steps=10, seed=0)
+
+    def test_cap_above_p_rejected(self):
+        with pytest.raises(RegimeError):
+            simulate_coupled_walks(p=0.05, q=0.01, q_cap=0.2, steps=10, seed=0)
+
+
+class TestLemma32Formulas:
+    def test_survival_steps(self):
+        assert lemma32_survival_steps(100, 0.01) == pytest.approx(5000)
+        with pytest.raises(RegimeError):
+            lemma32_survival_steps(0, 0.01)
+
+    def test_condition_threshold(self):
+        value = lemma32_condition_threshold(0.5, 0.1, 100)
+        expected = 32 * ((0.5 - 0.01) / 0.2 + 2 / 3) * math.log(100)
+        assert value == pytest.approx(expected)
+
+    def test_tail_bound_decreases_in_target(self):
+        small = lemma32_tail_bound(50, 0.5, 0.01, 1000)
+        large = lemma32_tail_bound(200, 0.5, 0.01, 1000)
+        assert large < small <= 1.0
+
+    def test_tail_bound_parameter_validation(self):
+        with pytest.raises(RegimeError):
+            lemma32_tail_bound(-1, 0.5, 0.01, 100)
+        with pytest.raises(RegimeError):
+            lemma32_tail_bound(10, 0.5, 0.9, 100)  # q > p
+
+    def test_empirical_survival_respects_bound(self):
+        """Within the lemma's conditions, no run should reach T before
+        T/(2q) steps — checked on a concrete admissible instance."""
+        p, q = 0.5, 0.05
+        target = 400
+        # with n = 20, condition_threshold ≈ 32·(4.95+0.67)·3.0 ≈ 539 > 400
+        # → pick n = e² ≈ 7.4 so the condition holds: threshold ≈ 360.
+        n = 7.4
+        assert target >= lemma32_condition_threshold(p, q, n)
+        floor = lemma32_survival_steps(target, q)  # 4000 steps
+        walk = LazyRandomWalk(p=p, q=q)
+        estimate = estimate_hitting_time(
+            walk, target, runs=30, max_steps=int(floor), seed=9
+        )
+        # probability of any hit before the floor is ≤ n⁻² ≈ 1.8% per the
+        # lemma; with 30 runs allow at most a couple of violations.
+        assert estimate.censored >= 28
+
+
+class TestHittingTimeEstimate:
+    def test_statistics(self):
+        walk = LazyRandomWalk(p=1.0, q=1.0)
+        estimate = estimate_hitting_time(walk, 5, runs=10, max_steps=100, seed=0)
+        assert estimate.runs == 10
+        assert estimate.censored == 0
+        assert estimate.min_time == 5
+        assert estimate.hit_fraction == 1.0
+
+    def test_rejects_zero_runs(self):
+        walk = LazyRandomWalk(p=0.5, q=0.0)
+        with pytest.raises(RegimeError):
+            estimate_hitting_time(walk, 5, runs=0)
