@@ -1,0 +1,66 @@
+"""Serial-vs-parallel ensemble throughput (the ISSUE 1 acceptance run).
+
+Measures ``usd_stabilization_ensemble`` over 32 seeds at n = 10,000 with
+``workers=0`` (in-process serial) against a process pool, asserting the
+two produce bit-identical aggregates and reporting the speedup.  The
+≥ 3× speedup assertion only applies where the hardware can deliver it
+(≥ 8 available CPUs) — on smaller machines the benchmark still runs and
+reports, so CI boxes and laptops both get honest numbers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis import usd_stabilization_ensemble
+from repro.parallel import available_workers
+from repro.workloads.initial import paper_initial_configuration
+
+N = 10_000
+K = 8
+SEEDS = 32
+WORKERS = 8
+ROOT_SEED = 4242
+
+
+def _run(workers: int):
+    config = paper_initial_configuration(N, K)
+    return usd_stabilization_ensemble(
+        config,
+        num_seeds=SEEDS,
+        seed=ROOT_SEED,
+        engine="batch",
+        max_parallel_time=3_000.0,
+        workers=workers,
+    )
+
+
+def test_parallel_ensemble_speedup_and_equivalence(benchmark):
+    started = time.perf_counter()
+    serial = _run(0)
+    serial_seconds = time.perf_counter() - started
+
+    parallel = benchmark.pedantic(lambda: _run(WORKERS), rounds=1, iterations=1)
+    parallel_seconds = benchmark.stats.stats.mean
+
+    # the acceptance contract: parallelism never changes the numbers
+    assert np.array_equal(serial.times, parallel.times)
+    assert np.array_equal(serial.winners, parallel.winners)
+    assert serial.censored == parallel.censored
+
+    speedup = serial_seconds / parallel_seconds
+    cpus = available_workers()
+    print()
+    print(
+        f"usd_stabilization_ensemble: n={N}, k={K}, {SEEDS} seeds — "
+        f"serial {serial_seconds:.2f}s, {WORKERS} workers "
+        f"{parallel_seconds:.2f}s → speedup {speedup:.2f}x "
+        f"({cpus} CPUs available)"
+    )
+    if cpus >= WORKERS:
+        assert speedup >= 3.0, (
+            f"expected >= 3x speedup with {WORKERS} workers on {cpus} CPUs, "
+            f"got {speedup:.2f}x"
+        )

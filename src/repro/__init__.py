@@ -13,7 +13,8 @@ Population Protocol Model"* (El-Hayek, Elsässer, Schmid — PODC 2025):
   of the paper in executable form;
 * :mod:`repro.workloads`, :mod:`repro.analysis`,
   :mod:`repro.experiments` — the evaluation harness regenerating
-  Figure 1 and validating Lemmas 3.1/3.3/3.4 and Theorem 3.5.
+  Figure 1 and validating Lemmas 3.1/3.3/3.4 and Theorem 3.5;
+* :mod:`repro.parallel` — process-pool execution of seed ensembles.
 
 Quickstart
 ----------
@@ -23,6 +24,36 @@ Quickstart
 >>> result = simulate(protocol, initial, seed=0, max_parallel_time=2_000)
 >>> result.winner
 1
+
+Parallel ensembles
+------------------
+Every distributional measurement (stabilization-time tails, hitting
+times, Figure 1 bands) averages independent seeded runs, and those runs
+fan out over ``multiprocessing`` workers through
+:func:`repro.parallel.run_ensemble` / :func:`repro.parallel.map_seeds`.
+Per-run streams are derived from the root seed and the run index alone
+(:func:`repro.rng.derive_seed` / :func:`repro.rng.spawn_seeds`), so for
+a fixed root seed the results are **bit-identical for every worker
+count** — parallelism is purely a throughput knob.  The ``workers``
+argument appears on :func:`repro.analysis.usd_stabilization_ensemble`,
+:func:`repro.theory.estimate_hitting_time`,
+:func:`repro.theory.estimate_drift_empirically` and every registry
+experiment (CLI: ``repro run <id> --workers N``).
+
+Choosing engine and workers
+---------------------------
+* ``engine='counts'`` (exact) up to a few 10⁴ agents, ``'batch'``
+  (τ-leaping) beyond, ``'agent'`` only for ground-truth checks —
+  ``'auto'`` picks counts/batch on a size threshold.
+* ``workers=0`` (default) runs in-process: right for tests, debugging
+  and tiny ensembles, where pool startup would dominate.
+* ``workers=N`` pays ~100 ms of pool startup plus per-run pickling of
+  the task and its result, so it wins once each run takes ≳10 ms —
+  i.e. real ensembles at n ≳ 10³.  ``workers=None`` uses every CPU the
+  scheduler grants the process; more workers than runs is never useful.
+* Task functions must be module-level (or ``functools.partial`` of
+  module-level) to cross process boundaries; closures require
+  ``workers=0``.
 """
 
 from .core import (
@@ -58,8 +89,19 @@ from .protocols import (
     UndecidedStateDynamics,
     VoterModel,
 )
-from .rng import derive_seed, make_rng, spawn, spawn_many
-from . import analysis, experiments, gossip, io, meanfield, theory, workloads
+from .errors import ParallelError
+from .parallel import map_seeds, run_ensemble
+from .rng import derive_seed, make_rng, spawn, spawn_many, spawn_seeds
+from . import (
+    analysis,
+    experiments,
+    gossip,
+    io,
+    meanfield,
+    parallel,
+    theory,
+    workloads,
+)
 
 __version__ = "1.0.0"
 
@@ -90,10 +132,15 @@ __all__ = [
     "make_rng",
     "spawn",
     "spawn_many",
+    "spawn_seeds",
+    # parallel
+    "map_seeds",
+    "run_ensemble",
     # errors
     "BatchSizeError",
     "ConfigurationError",
     "ExperimentError",
+    "ParallelError",
     "ProtocolError",
     "RegimeError",
     "ReproError",
@@ -106,6 +153,7 @@ __all__ = [
     "gossip",
     "io",
     "meanfield",
+    "parallel",
     "theory",
     "workloads",
 ]

@@ -8,7 +8,11 @@ from .scaling import (
     law_table_rows,
     law_value,
 )
-from .stabilization import StabilizationEnsemble, usd_stabilization_ensemble
+from .stabilization import (
+    UNDETERMINED_WINNER,
+    StabilizationEnsemble,
+    usd_stabilization_ensemble,
+)
 from .stats import (
     LinearFit,
     OnlineStats,
@@ -36,6 +40,7 @@ __all__ = [
     "ScalingComparison",
     "StabilizationEnsemble",
     "Summary",
+    "UNDETERMINED_WINNER",
     "UndecidedExceedance",
     "align_series",
     "bootstrap_ci",

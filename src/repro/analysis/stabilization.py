@@ -4,24 +4,39 @@ The paper's statements are w.h.p. statements over the scheduler's
 randomness; empirically we run independent seeds and report the
 ensemble of stabilization times (in parallel-time units), the winner
 distribution, and censoring information when a horizon was hit.
+
+Ensemble members are independent, so they fan out over
+:func:`repro.parallel.run_ensemble`; ``workers=0`` (the default) runs
+in-process and any worker count returns bit-identical results for the
+same root seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from functools import partial
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
 from ..core.configuration import Configuration
 from ..core.run import simulate
 from ..errors import ExperimentError
+from ..parallel import run_ensemble
 from ..protocols.usd import UndecidedStateDynamics
-from ..rng import derive_seed
 from ..types import SeedLike
 from .stats import Summary, summarize
 
-__all__ = ["StabilizationEnsemble", "usd_stabilization_ensemble"]
+__all__ = [
+    "UNDETERMINED_WINNER",
+    "StabilizationEnsemble",
+    "usd_stabilization_ensemble",
+]
+
+#: Sentinel stored in :attr:`StabilizationEnsemble.winners` for runs that
+#: stabilized without a surviving opinion (the all-undecided absorption).
+#: Opinions are 1-based, so ``-1`` can never collide with a real winner.
+UNDETERMINED_WINNER = -1
 
 
 @dataclass(frozen=True)
@@ -33,8 +48,11 @@ class StabilizationEnsemble:
     times:
         Parallel stabilization times of the runs that stabilized.
     winners:
-        Winning opinion per stabilized run (0 encodes the all-undecided
-        absorption, which has no winner).
+        Winning opinion per stabilized run (1-based).  Runs that
+        stabilized with no surviving opinion — the all-undecided
+        absorption — are stored as :data:`UNDETERMINED_WINNER` (``-1``),
+        never as an opinion index, so winner-frequency statistics cannot
+        mistake them for a real opinion.
     censored:
         Runs that hit the horizon without stabilizing.
     horizon_parallel_time:
@@ -55,6 +73,23 @@ class StabilizationEnsemble:
         return int(self.times.size) + self.censored
 
     @property
+    def num_undetermined(self) -> int:
+        """Runs that stabilized with no winner (all-undecided absorption)."""
+        return int(np.sum(self.winners == UNDETERMINED_WINNER))
+
+    @property
+    def undetermined_fraction(self) -> float:
+        """Fraction of *all* runs that stabilized without a winner."""
+        if self.runs == 0:
+            return 0.0
+        return self.num_undetermined / self.runs
+
+    @property
+    def decided_winners(self) -> np.ndarray:
+        """Winners of the runs that ended in a real consensus (sentinel-free)."""
+        return self.winners[self.winners != UNDETERMINED_WINNER]
+
+    @property
     def majority_win_fraction(self) -> float:
         """Fraction of *all* runs in which opinion 1 won."""
         if self.runs == 0:
@@ -68,6 +103,35 @@ class StabilizationEnsemble:
         return summarize(self.times)
 
 
+def _stabilization_task(
+    index: int,
+    run_seed: int,
+    *,
+    initial: Configuration,
+    engine: str,
+    max_parallel_time: float,
+    snapshot_every: Optional[int],
+) -> Optional[Tuple[float, int]]:
+    """One ensemble member: ``(parallel_time, winner)``, or ``None`` if censored.
+
+    Module-level so it pickles across process boundaries; the protocol is
+    rebuilt in the worker (it is stateless and cheap to construct).
+    """
+    protocol = UndecidedStateDynamics(k=initial.k)
+    result = simulate(
+        protocol,
+        initial,
+        engine=engine,
+        seed=run_seed,
+        max_parallel_time=max_parallel_time,
+        snapshot_every=snapshot_every,
+    )
+    if result.stabilized and result.stabilization_parallel_time is not None:
+        winner = result.winner if result.winner is not None else UNDETERMINED_WINNER
+        return result.stabilization_parallel_time, winner
+    return None
+
+
 def usd_stabilization_ensemble(
     initial: Configuration,
     *,
@@ -76,33 +140,34 @@ def usd_stabilization_ensemble(
     engine: str = "auto",
     max_parallel_time: float = 10_000.0,
     snapshot_every: Optional[int] = None,
+    workers: Optional[int] = 0,
+    chunk_size: Optional[int] = None,
     extra_params: Optional[Dict[str, Any]] = None,
 ) -> StabilizationEnsemble:
     """Run USD from ``initial`` under ``num_seeds`` independent seeds.
 
     Each run uses :func:`repro.rng.derive_seed` so any individual run
-    can be replayed from the stored root seed and its index.
+    can be replayed from the stored root seed and its index.  With
+    ``workers > 0`` (or ``None`` for all CPUs) the runs execute on a
+    process pool; the aggregate results are bit-identical to
+    ``workers=0`` for the same root seed.
     """
     if num_seeds < 1:
         raise ExperimentError(f"num_seeds must be >= 1, got {num_seeds}")
-    protocol = UndecidedStateDynamics(k=initial.k)
-    times: List[float] = []
-    winners: List[int] = []
-    censored = 0
-    for index in range(num_seeds):
-        result = simulate(
-            protocol,
-            initial,
-            engine=engine,
-            seed=derive_seed(seed, index),
-            max_parallel_time=max_parallel_time,
-            snapshot_every=snapshot_every,
-        )
-        if result.stabilized and result.stabilization_parallel_time is not None:
-            times.append(result.stabilization_parallel_time)
-            winners.append(result.winner if result.winner is not None else 0)
-        else:
-            censored += 1
+    task = partial(
+        _stabilization_task,
+        initial=initial,
+        engine=engine,
+        max_parallel_time=max_parallel_time,
+        snapshot_every=snapshot_every,
+    )
+    outcomes = run_ensemble(
+        task, num_seeds, seed=seed, workers=workers, chunk_size=chunk_size
+    )
+    stabilized = [outcome for outcome in outcomes if outcome is not None]
+    times = [time for time, _ in stabilized]
+    winners = [winner for _, winner in stabilized]
+    censored = len(outcomes) - len(stabilized)
     params = {
         "n": initial.n,
         "k": initial.k,
@@ -110,6 +175,7 @@ def usd_stabilization_ensemble(
         "engine": engine,
         "num_seeds": num_seeds,
         "root_seed": seed if isinstance(seed, int) else None,
+        "workers": workers,
         **(extra_params or {}),
     }
     return StabilizationEnsemble(

@@ -4,9 +4,10 @@ Subcommands
 -----------
 ``repro list``
     Show every registered experiment id with its title.
-``repro run <id> [--set name=value ...] [--out DIR] [--no-plots]``
+``repro run <id> [--set name=value ...] [--out DIR] [--no-plots] [--workers N]``
     Run one experiment (or ``all``) and print its report; optionally
-    persist rows/series under ``--out``.
+    persist rows/series under ``--out``.  ``--workers`` fans ensemble
+    experiments out over N processes (bit-identical results either way).
 ``repro fig1 [--full] [--panel left|right]``
     Shortcut for the Figure 1 reproduction (``--full`` uses the paper's
     n = 10⁶ instead of the default 10⁵).
@@ -57,6 +58,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--out", type=Path, default=None, help="directory for artifacts")
     run.add_argument(
         "--no-plots", action="store_true", help="suppress ASCII plots in the report"
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "process-pool size for seed-ensemble experiments "
+            "(0 = in-process serial, the default; results are bit-identical "
+            "for every worker count)"
+        ),
     )
 
     fig1 = commands.add_parser("fig1", help="reproduce Figure 1")
@@ -154,6 +166,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(line)
         elif args.command == "run":
             overrides = parse_overrides(args.overrides)
+            if args.workers is not None:
+                overrides["workers"] = args.workers
             if args.experiment_id == "all":
                 for experiment_id in sorted(EXPERIMENTS):
                     print(f"=== {experiment_id} ===")

@@ -175,6 +175,12 @@ class BaseEngine(abc.ABC):
         ``snapshot_every`` controls both the recording cadence and the
         granularity at which ``stop`` is evaluated; it defaults to half a
         parallel round (``n // 2`` interactions).
+
+        ``stop`` (and absorption) are evaluated *before* the first chunk
+        as well as after every subsequent one, so a predicate that is
+        already true at entry — or a configuration that is already
+        absorbed — executes zero interactions instead of silently
+        burning a whole chunk and inflating measured hitting times.
         """
         if max_interactions < self._interactions:
             raise SimulationError(
@@ -187,13 +193,13 @@ class BaseEngine(abc.ABC):
         if recorder is not None and self._interactions == 0:
             recorder.record(self)
         while self._interactions < max_interactions:
-            self.step(min(chunk, max_interactions - self._interactions))
-            if recorder is not None:
-                recorder.record(self)
             if self._absorbed:
                 break
             if stop is not None and stop(self):
                 break
+            self.step(min(chunk, max_interactions - self._interactions))
+            if recorder is not None:
+                recorder.record(self)
 
     def __repr__(self) -> str:
         return (

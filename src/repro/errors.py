@@ -66,6 +66,15 @@ class RegimeError(ReproError):
     """
 
 
+class ParallelError(ReproError):
+    """Parallel ensemble execution was mis-configured or failed.
+
+    Raised e.g. for a negative worker count, a task function that cannot
+    be pickled across process boundaries, or a worker process that died
+    mid-ensemble.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment id is unknown or an experiment was mis-parameterised."""
 

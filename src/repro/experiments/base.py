@@ -95,6 +95,12 @@ class Experiment(abc.ABC):
     of parameters and :meth:`_execute`.  Constructor keyword arguments
     override defaults; unknown parameter names are rejected so typos
     fail loudly.
+
+    Every experiment additionally accepts the :data:`GLOBAL_DEFAULTS`
+    parameters.  ``workers`` sizes the process pool for experiments
+    built on seed ensembles (``0`` = in-process serial, ``None`` = all
+    CPUs); results are bit-identical for every value, and experiments
+    without an ensemble simply ignore it.
     """
 
     #: Registry id; subclasses override.
@@ -103,15 +109,33 @@ class Experiment(abc.ABC):
     title: str = "abstract experiment"
     #: Default parameters; subclasses override.
     DEFAULTS: Dict[str, Any] = {}
+    #: Parameters accepted by *every* experiment (subclass DEFAULTS win on
+    #: collision).  Threaded by the registry and the CLI's ``--workers``.
+    GLOBAL_DEFAULTS: Dict[str, Any] = {"workers": 0}
 
     def __init__(self, **overrides: Any):
-        unknown = set(overrides) - set(self.DEFAULTS)
+        defaults = {**self.GLOBAL_DEFAULTS, **self.DEFAULTS}
+        unknown = set(overrides) - set(defaults)
         if unknown:
             raise ExperimentError(
                 f"{self.experiment_id}: unknown parameters {sorted(unknown)}; "
-                f"valid ones are {sorted(self.DEFAULTS)}"
+                f"valid ones are {sorted(defaults)}"
             )
-        self.params: Dict[str, Any] = {**self.DEFAULTS, **overrides}
+        self.params: Dict[str, Any] = {**defaults, **overrides}
+
+    @property
+    def local_params(self) -> Dict[str, Any]:
+        """The experiment's own parameters, without the global ones.
+
+        For ``**``-splatting into helpers that predate the global
+        parameters (e.g. ``run_figure1_trace``); globals a subclass
+        re-declares in its ``DEFAULTS`` are kept.
+        """
+        return {
+            key: value
+            for key, value in self.params.items()
+            if key in self.DEFAULTS
+        }
 
     def run(self) -> ExperimentResult:
         """Execute the experiment and stamp timing/provenance."""

@@ -63,6 +63,7 @@ class BiasThresholdExperiment(Experiment):
                     seed=self.params["seed"] + 31 * k + bias,
                     engine=self.params["engine"],
                     max_parallel_time=self.params["max_parallel_time"],
+                    workers=self.params["workers"],
                 )
                 rows.append(
                     {
@@ -71,9 +72,7 @@ class BiasThresholdExperiment(Experiment):
                         "bias_label": label,
                         "bias": bias,
                         "majority_win_fraction": ensemble.majority_win_fraction,
-                        "all_undecided_fraction": (
-                            float((ensemble.winners == 0).sum()) / ensemble.runs
-                        ),
+                        "all_undecided_fraction": ensemble.undetermined_fraction,
                         "median_stab_time": None
                         if ensemble.times.size == 0
                         else float(ensemble.summary().median),

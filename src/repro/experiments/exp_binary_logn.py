@@ -48,6 +48,7 @@ class BinaryLogNExperiment(Experiment):
                 seed=self.params["seed"] + n,
                 engine=self.params["engine"],
                 max_parallel_time=self.params["max_parallel_time"],
+                workers=self.params["workers"],
             )
             summary = ensemble.summary()
             log_ns.append(math.log(n))

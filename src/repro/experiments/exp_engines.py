@@ -56,9 +56,11 @@ class EngineAblationExperiment(Experiment):
                     seed=derive_seed(self.params["seed"], index),
                     max_parallel_time=self.params["max_parallel_time"],
                 )
-                if result.stabilized and result.stabilization_parallel_time:
+                if result.stabilized and result.stabilization_parallel_time is not None:
                     times.append(result.stabilization_parallel_time)
-                    winners.append(result.winner or 0)
+                    # -1 mirrors analysis.stabilization.UNDETERMINED_WINNER:
+                    # a no-winner absorption must not count as an opinion.
+                    winners.append(result.winner if result.winner is not None else -1)
             medians[engine_name] = float(np.median(times))
             rows.append(
                 {

@@ -15,20 +15,56 @@ common parallel-time grid, and reports
 from __future__ import annotations
 
 import math
-from typing import Any, Dict
+from functools import partial
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
 from ..analysis.ensembles import ensemble_band
+from ..analysis.stabilization import UNDETERMINED_WINNER
 from ..analysis.trajectories import doubling_time
+from ..core.configuration import Configuration
+from ..core.recorder import Trace
 from ..core.run import simulate
+from ..parallel import run_ensemble
 from ..protocols.usd import UndecidedStateDynamics
-from ..rng import derive_seed
 from ..theory.bounds import paper_k_schedule
 from ..workloads.initial import paper_bias, paper_initial_configuration
 from .base import Experiment, ExperimentResult
 
 __all__ = ["Figure1EnsembleExperiment"]
+
+
+def _figure1_task(
+    index: int,
+    run_seed: int,
+    *,
+    config: Configuration,
+    k: int,
+    engine: str,
+    max_parallel_time: float,
+    snapshot_every: int,
+) -> Optional[Tuple[Trace, float, int, Optional[float]]]:
+    """One ensemble member: ``(trace, stab_time, winner, doubling_time)``.
+
+    ``None`` marks a run that did not stabilize.  Module-level so the
+    ensemble can fan out over process-pool workers; the doubling time is
+    computed worker-side so the parent only post-processes.
+    """
+    protocol = UndecidedStateDynamics(k=k)
+    result = simulate(
+        protocol,
+        config,
+        engine=engine,
+        seed=run_seed,
+        max_parallel_time=max_parallel_time,
+        snapshot_every=snapshot_every,
+    )
+    if not result.stabilized:
+        return None
+    winner = result.winner if result.winner is not None else UNDETERMINED_WINNER
+    double = doubling_time(result.trace, opinion=1) if winner == 1 else None
+    return result.trace, result.stabilization_parallel_time, winner, double
 
 
 class Figure1EnsembleExperiment(Experiment):
@@ -51,26 +87,32 @@ class Figure1EnsembleExperiment(Experiment):
         k = self.params["k"] or paper_k_schedule(n)
         bias = self.params["bias"] or paper_bias(n)
         config = paper_initial_configuration(n, k, bias)
-        protocol = UndecidedStateDynamics(k=k)
+
+        task = partial(
+            _figure1_task,
+            config=config,
+            k=k,
+            engine=self.params["engine"],
+            max_parallel_time=self.params["max_parallel_time"],
+            snapshot_every=max(1, n // 10),
+        )
+        outcomes = run_ensemble(
+            task,
+            self.params["num_seeds"],
+            seed=self.params["seed"],
+            workers=self.params["workers"],
+        )
 
         traces, stab_times, double_times, winners = [], [], [], []
-        for index in range(self.params["num_seeds"]):
-            result = simulate(
-                protocol,
-                config,
-                engine=self.params["engine"],
-                seed=derive_seed(self.params["seed"], index),
-                max_parallel_time=self.params["max_parallel_time"],
-                snapshot_every=max(1, n // 10),
-            )
-            if not result.stabilized:
+        for outcome in outcomes:
+            if outcome is None:
                 continue
-            traces.append(result.trace)
-            stab_times.append(result.stabilization_parallel_time)
-            winners.append(result.winner if result.winner is not None else 0)
-            double = doubling_time(result.trace, opinion=1)
-            if result.winner == 1 and double is not None:
-                double_times.append((double, result.stabilization_parallel_time))
+            trace, stab_time, winner, double = outcome
+            traces.append(trace)
+            stab_times.append(stab_time)
+            winners.append(winner)
+            if double is not None:
+                double_times.append((double, stab_time))
 
         if not traces:
             raise RuntimeError("no run stabilized — raise max_parallel_time")

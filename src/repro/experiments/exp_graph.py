@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, List, Tuple
 import networkx as nx
 import numpy as np
 
+from ..analysis.stabilization import UNDETERMINED_WINNER
 from ..core.agent_engine import AgentEngine
 from ..core.scheduler import GraphPairScheduler, PairScheduler, UniformPairScheduler
 from ..protocols.usd import UndecidedStateDynamics
@@ -86,7 +87,11 @@ class GraphTopologyExperiment(Experiment):
     def _run_one(
         self, topology: str, seed_index: int
     ) -> Tuple[float, int, bool]:
-        """One run; returns (parallel time, winner-or-0, stabilized)."""
+        """One run; returns (parallel time, winner, stabilized).
+
+        ``winner`` is -1 (:data:`UNDETERMINED_WINNER`) for runs without
+        a single surviving opinion — unstabilized or all-undecided.
+        """
         n = self.params["n"]
         k = self.params["k"]
         protocol = UndecidedStateDynamics(k=k)
@@ -101,11 +106,12 @@ class GraphTopologyExperiment(Experiment):
         )
         engine.run(int(self.params["max_parallel_time"] * n))
         stabilized = engine.is_absorbed
-        winner = 0
+        winner = UNDETERMINED_WINNER
         if stabilized:
             final = engine.counts
             alive = np.flatnonzero(final[1:] == n)
-            winner = int(alive[0]) + 1 if alive.size == 1 else 0
+            if alive.size == 1:
+                winner = int(alive[0]) + 1
         time = (
             engine.last_change_interaction / n
             if stabilized and engine.last_change_interaction is not None

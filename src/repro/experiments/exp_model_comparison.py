@@ -101,6 +101,7 @@ class ModelComparisonExperiment(Experiment):
                 seed=self.params["seed"] + k,
                 engine=self.params["engine"],
                 max_parallel_time=self.params["max_parallel_time"],
+                workers=self.params["workers"],
             )
             gossip_rounds = []
             dynamics = GossipUSD(k=k)

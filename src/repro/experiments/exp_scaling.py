@@ -56,6 +56,7 @@ class ScalingExperiment(Experiment):
                 seed=self.params["seed"] + k,
                 engine=self.params["engine"],
                 max_parallel_time=self.params["max_parallel_time"],
+                workers=self.params["workers"],
             )
             summary = ensemble.summary()
             ks.append(k)

@@ -106,7 +106,7 @@ class Figure1Left(Experiment):
     DEFAULTS = dict(_FIGURE1_DEFAULTS)
 
     def _execute(self) -> ExperimentResult:
-        trace, run, k, bias = run_figure1_trace(**self.params)
+        trace, run, k, bias = run_figure1_trace(**self.local_params)
         n = trace.n
         parallel = trace.parallel_times
         undecided = trace.undecided_series()
@@ -225,7 +225,7 @@ class Figure1Right(Experiment):
     DEFAULTS = dict(_FIGURE1_DEFAULTS)
 
     def _execute(self) -> ExperimentResult:
-        trace, run, k, bias = run_figure1_trace(**self.params)
+        trace, run, k, bias = run_figure1_trace(**self.local_params)
         n = trace.n
         parallel = trace.parallel_times
         majority = trace.opinion_series(1)

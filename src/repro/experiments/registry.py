@@ -63,5 +63,10 @@ def list_experiments() -> List[str]:
 
 
 def run_experiment(experiment_id: str, **params: Any) -> ExperimentResult:
-    """Instantiate and run an experiment by id with parameter overrides."""
+    """Instantiate and run an experiment by id with parameter overrides.
+
+    Besides each experiment's own ``DEFAULTS``, the global parameters of
+    :class:`Experiment` (notably ``workers``, the ensemble process-pool
+    size) are accepted for every id and threaded through unchanged.
+    """
     return get_experiment(experiment_id)(**params).run()

@@ -1,0 +1,34 @@
+"""Parallel ensemble execution over ``multiprocessing`` workers.
+
+The single entry points are :func:`run_ensemble` (index-derived integer
+seeds via :func:`repro.rng.derive_seed`) and :func:`map_seeds` (explicit
+seed sequences, e.g. :func:`repro.rng.spawn_seeds` children).  Both
+guarantee results bit-identical to serial execution for the same root
+seed, regardless of worker count or completion order; ``workers=0``
+executes in-process for deterministic, debuggable test runs.
+
+All four ensemble surfaces of the library route through here:
+:func:`repro.analysis.usd_stabilization_ensemble`, the ``fig1-ensemble``
+experiment, :func:`repro.theory.estimate_hitting_time` and
+:func:`repro.theory.estimate_drift_empirically` — each accepts a
+``workers`` argument, as does every registry experiment (CLI:
+``repro run <id> --workers N``).
+"""
+
+from .pool import (
+    available_workers,
+    ensemble_seeds,
+    map_seeds,
+    parallel_map,
+    resolve_workers,
+    run_ensemble,
+)
+
+__all__ = [
+    "available_workers",
+    "ensemble_seeds",
+    "map_seeds",
+    "parallel_map",
+    "resolve_workers",
+    "run_ensemble",
+]

@@ -16,7 +16,14 @@ import numpy as np
 
 from .types import SeedLike
 
-__all__ = ["make_rng", "spawn", "spawn_many", "seed_stream", "derive_seed"]
+__all__ = [
+    "make_rng",
+    "spawn",
+    "spawn_many",
+    "spawn_seeds",
+    "seed_stream",
+    "derive_seed",
+]
 
 
 def make_rng(seed: SeedLike = None) -> np.random.Generator:
@@ -47,17 +54,36 @@ def spawn_many(rng: np.random.Generator, count: int) -> List[np.random.Generator
     caller handed us a raw ``Generator``), fresh entropy from ``rng``
     itself seeds the children, which keeps determinism for seeded runs.
     """
+    return [
+        np.random.Generator(np.random.PCG64(child))
+        for child in spawn_seeds(rng, count)
+    ]
+
+
+def spawn_seeds(seed: SeedLike, count: int) -> List[np.random.SeedSequence]:
+    """Derive ``count`` child ``SeedSequence`` objects from ``seed``.
+
+    This is the *picklable* form of :func:`spawn_many`: a ``SeedSequence``
+    crosses process boundaries, so :mod:`repro.parallel` can fan the
+    children out over workers while ``make_rng(child)`` reconstructs in
+    each worker exactly the generator ``spawn_many`` would have built
+    in-process — the streams are bit-identical either way.
+    """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
-    seed_seq = getattr(rng.bit_generator, "seed_seq", None)
-    if isinstance(seed_seq, np.random.SeedSequence):
-        children = seed_seq.spawn(count)
-    else:  # pragma: no cover - only reachable with exotic bit generators
-        children = [
-            np.random.SeedSequence(int(rng.integers(0, 2**63 - 1)))
-            for _ in range(count)
-        ]
-    return [np.random.Generator(np.random.PCG64(child)) for child in children]
+    if isinstance(seed, np.random.Generator):
+        seed_seq = getattr(seed.bit_generator, "seed_seq", None)
+        if not isinstance(seed_seq, np.random.SeedSequence):
+            # pragma: no cover - only reachable with exotic bit generators
+            return [
+                np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+                for _ in range(count)
+            ]
+    elif isinstance(seed, np.random.SeedSequence):
+        seed_seq = seed
+    else:
+        seed_seq = np.random.SeedSequence(seed)
+    return list(seed_seq.spawn(count))
 
 
 def seed_stream(seed: SeedLike = None) -> Iterator[np.random.Generator]:

@@ -18,13 +18,15 @@ between the proof algebra and the simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from functools import partial
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..core.configuration import Configuration
 from ..errors import ConfigurationError
-from ..rng import make_rng, spawn_many
+from ..parallel import map_seeds
+from ..rng import spawn_seeds
 from ..types import SeedLike
 
 __all__ = [
@@ -164,6 +166,27 @@ class DriftEstimate:
         return abs(self.mean - value) <= sigmas * max(self.std_error, 1e-15)
 
 
+def _drift_sample_task(
+    run_seed: SeedLike,
+    *,
+    base_counts: np.ndarray,
+    k: int,
+    quantity: str,
+    opinion: int,
+    other: int,
+) -> float:
+    """One single-interaction drift sample (module-level so it pickles)."""
+    from ..core.counts_engine import CountsEngine
+    from ..protocols.usd import UndecidedStateDynamics
+
+    protocol = UndecidedStateDynamics(k=k)
+    engine = CountsEngine(protocol, base_counts, seed=run_seed)
+    before = _read_quantity(engine.counts, quantity, opinion, other)
+    engine.step(1)
+    after = _read_quantity(engine.counts, quantity, opinion, other)
+    return after - before
+
+
 def estimate_drift_empirically(
     config: Configuration,
     quantity: str,
@@ -172,14 +195,19 @@ def estimate_drift_empirically(
     seed: SeedLike = None,
     opinion: int = 1,
     other: int = 2,
+    workers: Optional[int] = 0,
+    chunk_size: Optional[int] = None,
 ) -> DriftEstimate:
     """Estimate a one-step drift by simulating single USD interactions.
 
     ``quantity`` is ``'undecided'``, ``'opinion'`` (uses ``opinion``) or
     ``'gap'`` (uses ``opinion`` and ``other``).  Each sample runs one
-    interaction of a fresh exact engine from ``config``.
+    interaction of a fresh exact engine from ``config``.  Samples are
+    independent, so with ``workers > 0`` they fan out over a process
+    pool (:func:`repro.parallel.map_seeds` over
+    :func:`repro.rng.spawn_seeds` children) with bit-identical results
+    for every worker count.
     """
-    from ..core.counts_engine import CountsEngine
     from ..protocols.usd import UndecidedStateDynamics
 
     if quantity not in ("undecided", "opinion", "gap"):
@@ -188,14 +216,19 @@ def estimate_drift_empirically(
         )
     protocol = UndecidedStateDynamics(k=config.k)
     base_counts = protocol.encode_configuration(config)
-    root = make_rng(seed)
-    changes = np.empty(samples)
-    for index, child in enumerate(spawn_many(root, samples)):
-        engine = CountsEngine(protocol, base_counts, seed=child)
-        before = _read_quantity(engine.counts, quantity, opinion, other)
-        engine.step(1)
-        after = _read_quantity(engine.counts, quantity, opinion, other)
-        changes[index] = after - before
+    task = partial(
+        _drift_sample_task,
+        base_counts=base_counts,
+        k=config.k,
+        quantity=quantity,
+        opinion=opinion,
+        other=other,
+    )
+    changes = np.asarray(
+        map_seeds(
+            task, spawn_seeds(seed, samples), workers=workers, chunk_size=chunk_size
+        )
+    )
     mean = float(changes.mean())
     std_error = float(changes.std(ddof=1) / np.sqrt(samples)) if samples > 1 else 0.0
     return DriftEstimate(mean=mean, std_error=std_error, samples=samples)

@@ -16,12 +16,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Optional, Tuple, Union
 
 import numpy as np
 
 from ..errors import RegimeError
-from ..rng import make_rng, spawn_many
+from ..parallel import map_seeds
+from ..rng import make_rng, spawn_seeds
 from ..types import SeedLike
 
 __all__ = [
@@ -37,17 +39,29 @@ __all__ = [
 ParamFunction = Union[float, Callable[[int], float]]
 
 
+class _ConstantParam:
+    """A constant ``p``/``q`` parameter as a picklable callable.
+
+    A closure would pin walks built from constants to the constructing
+    process; this class keeps them picklable so hitting-time ensembles
+    can fan out over :mod:`repro.parallel` workers.
+    """
+
+    def __init__(self, value: float, name: str):
+        self.value = float(value)
+        self.__name__ = f"constant_{name}"
+
+    def __call__(self, _t: int) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"{self.__name__}({self.value})"
+
+
 def _as_function(value: ParamFunction, name: str) -> Callable[[int], float]:
     if callable(value):
         return value
-
-    constant = float(value)
-
-    def fixed(_t: int) -> float:
-        return constant
-
-    fixed.__name__ = f"constant_{name}"
-    return fixed
+    return _ConstantParam(value, name)
 
 
 class LazyRandomWalk:
@@ -243,6 +257,13 @@ class HittingTimeEstimate:
         return self.times.size / self.runs if self.runs else 0.0
 
 
+def _hitting_time_task(
+    run_seed: SeedLike, *, walk: LazyRandomWalk, target: int, max_steps: int
+) -> Optional[int]:
+    """One hitting-time sample (module-level so it pickles to workers)."""
+    return walk.first_hitting_time(target, max_steps, seed=run_seed)
+
+
 def estimate_hitting_time(
     walk: LazyRandomWalk,
     target: int,
@@ -250,19 +271,26 @@ def estimate_hitting_time(
     runs: int = 50,
     max_steps: int = 100_000,
     seed: SeedLike = None,
+    workers: Optional[int] = 0,
+    chunk_size: Optional[int] = None,
 ) -> HittingTimeEstimate:
-    """Monte-Carlo first-hitting-time estimation for ``walk``."""
+    """Monte-Carlo first-hitting-time estimation for ``walk``.
+
+    With ``workers > 0`` the independent walks fan out over a process
+    pool via :func:`repro.parallel.map_seeds`; each walk's stream comes
+    from a :func:`repro.rng.spawn_seeds` child of ``seed``, so results
+    are bit-identical for every worker count.  Walks with constant
+    ``p``/``q`` are picklable; for callable parameters use module-level
+    functions (or ``workers=0``).
+    """
     if runs < 1:
         raise RegimeError(f"runs must be >= 1, got {runs}")
-    root = make_rng(seed)
-    times = []
-    censored = 0
-    for child in spawn_many(root, runs):
-        hit = walk.first_hitting_time(target, max_steps, seed=child)
-        if hit is None:
-            censored += 1
-        else:
-            times.append(hit)
+    task = partial(_hitting_time_task, walk=walk, target=target, max_steps=max_steps)
+    hits = map_seeds(
+        task, spawn_seeds(seed, runs), workers=workers, chunk_size=chunk_size
+    )
+    times = [hit for hit in hits if hit is not None]
+    censored = sum(1 for hit in hits if hit is None)
     return HittingTimeEstimate(
         times=np.asarray(times, dtype=float), censored=censored, max_steps=max_steps
     )

@@ -185,6 +185,25 @@ class TestStabilizationEnsemble:
         with pytest.raises(ExperimentError):
             usd_stabilization_ensemble(Configuration([5, 5]), num_seeds=0)
 
+    def test_missing_winner_stored_as_sentinel_not_zero(self):
+        """Regression: the all-undecided absorption used to be stored as
+        winner 0, which winner-frequency stats could mistake for an
+        opinion; it must be the -1 sentinel with an explicit count."""
+        from repro.analysis import UNDETERMINED_WINNER
+
+        ensemble = usd_stabilization_ensemble(
+            Configuration([1, 1]),  # one cancellation → all-undecided
+            num_seeds=3,
+            seed=2,
+            engine="counts",
+            max_parallel_time=1_000,
+        )
+        assert UNDETERMINED_WINNER == -1
+        assert np.all(ensemble.winners == UNDETERMINED_WINNER)
+        assert not np.any(ensemble.winners == 0)
+        assert ensemble.num_undetermined == 3
+        assert ensemble.majority_win_fraction == 0.0
+
 
 class TestScaling:
     def test_law_values(self):

@@ -93,6 +93,95 @@ class TestBatchMatchesAgent:
         assert_close(agent_moments["gap"], batch_moments["gap"])
 
 
+class _RecordingBatchEngine(BatchEngine):
+    """BatchEngine that counts rejection halvings (applied < requested)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.halvings = 0
+
+    def _attempt_batch(self, rng, batch, weights, total, p_effective):
+        applied = super()._attempt_batch(rng, batch, weights, total, p_effective)
+        if applied < batch:
+            self.halvings += 1
+        return applied
+
+
+class TestBatchRejectionHalvingNearAbsorption:
+    """The τ-leaping rejection path with opinion counts of 1–2 agents.
+
+    Oversized batches on a nearly-absorbed configuration routinely
+    sample deltas that would drive a count negative; the engine must
+    halve, stay non-negative, recover its batch size, and keep the exact
+    one-step law.
+    """
+
+    #: u = 10, x = (2, 2): cancellations can exceed the 2 available agents
+    #: of either opinion whenever a batch requests two of them.
+    COUNTS = np.array([10, 2, 2])
+
+    def make_engine(self, seed):
+        protocol = UndecidedStateDynamics(k=2)
+        # epsilon = 0.5 → nominal batch 7 on n = 14: large enough that
+        # multinomial draws regularly over-consume a 2-agent opinion.
+        return _RecordingBatchEngine(
+            protocol, self.COUNTS, seed=seed, epsilon=0.5
+        )
+
+    def test_halving_fires_and_batch_recovers_to_nominal(self):
+        saw_halving = saw_recovery = False
+        for seed in range(40):
+            engine = self.make_engine(seed)
+            engine.step(2000)
+            # invariants hold through every rejection/retry
+            assert engine.counts.sum() == self.COUNTS.sum()
+            assert np.all(engine.counts >= 0)
+            if engine.halvings:
+                saw_halving = True
+                if engine._batch == engine.nominal_batch_size:
+                    saw_recovery = True
+        assert saw_halving, "no seed exercised the rejection-halving path"
+        assert saw_recovery, "batch size never recovered to nominal"
+
+    def test_one_step_law_matches_counts_engine_near_absorption(self):
+        """From a 1–2-agent state the batch engine's single-interaction
+        law must equal the exact closed form (batch of 1 is exact)."""
+        counts = np.array([2, 2, 1])  # u = 2, x = (2, 1), n = 5
+        n = int(counts.sum())
+        protocol = UndecidedStateDynamics(k=2)
+        table = protocol.table
+
+        exact = {}
+        for a in range(protocol.num_states):
+            for b in range(protocol.num_states):
+                weight = counts[a] * (counts[b] - (1 if a == b else 0))
+                if weight == 0:
+                    continue
+                outcome = tuple((counts + table.delta_of(a, b)).tolist())
+                exact[outcome] = exact.get(outcome, 0.0) + weight / (n * (n - 1))
+        assert sum(exact.values()) == pytest.approx(1.0)
+
+        samples = 4000
+        for engine_cls, kwargs in (
+            (CountsEngine, {}),
+            (BatchEngine, {"epsilon": 0.5}),  # nominal batch 2–3, step(1) → 1
+        ):
+            empirical = {}
+            for seed in range(samples):
+                engine = engine_cls(protocol, counts, seed=seed, **kwargs)
+                engine.step(1)
+                outcome = tuple(engine.counts.tolist())
+                empirical[outcome] = empirical.get(outcome, 0) + 1
+            assert set(empirical) <= set(exact)
+            for outcome, probability in exact.items():
+                observed = empirical.get(outcome, 0) / samples
+                std_error = np.sqrt(probability * (1 - probability) / samples)
+                assert abs(observed - probability) < 4 * std_error + 1e-9, (
+                    f"{engine_cls.__name__}: outcome {outcome} has frequency "
+                    f"{observed:.4f}, expected {probability:.4f}"
+                )
+
+
 class TestStabilizationDistribution:
     """Median stabilization times agree across engines on a toy workload."""
 

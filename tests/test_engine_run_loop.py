@@ -78,6 +78,35 @@ class TestRunLoop:
         times = [t for t in recorder._times]
         assert times.count(0) == 1
 
+    def test_stop_true_at_start_runs_zero_interactions(self):
+        """Regression: a predicate already true at entry must execute no
+        interactions (it used to burn a whole chunk first)."""
+        _, engine = make_engine()
+        engine.run(10_000, stop=lambda e: True)
+        assert engine.interactions == 0
+
+    def test_stop_condition_met_at_start_runs_zero_interactions(self):
+        protocol, engine = make_engine(counts=(30, 40, 30))
+        # u = 30 already satisfies the threshold before any stepping
+        engine.run(10_000, stop=stopping.undecided_reached(protocol, 30))
+        assert engine.interactions == 0
+        assert engine.counts[0] == 30
+
+    def test_started_absorbed_runs_zero_interactions(self):
+        _, engine = make_engine(counts=(0, 100, 0))  # consensus at entry
+        assert engine.is_absorbed
+        engine.run(10_000, snapshot_every=100)
+        assert engine.interactions == 0
+
+    def test_stop_at_start_still_records_initial_snapshot(self):
+        _, engine = make_engine()
+        recorder = TrajectoryRecorder()
+        engine.run(10_000, snapshot_every=10, stop=lambda e: True, recorder=recorder)
+        trace = recorder.build(
+            n=engine.n, state_names=("a", "b", "c"), protocol_name="p"
+        )
+        assert list(trace.times) == [0]
+
 
 class TestSimulateWithScheduler:
     def test_graph_scheduler_through_simulate(self):

@@ -179,6 +179,7 @@ class TestLemmaExperiments:
 
 
 class TestOtherExperiments:
+    @pytest.mark.slow
     def test_scaling_small(self):
         result = ScalingExperiment(
             n=3_000, k_values=(3, 5, 8), num_seeds=2, engine="counts",
@@ -188,6 +189,7 @@ class TestOtherExperiments:
         assert any("best-fitting law" in note for note in result.notes)
         assert "fit_doubling" in result.rows[0]
 
+    @pytest.mark.slow
     def test_bias_threshold_small(self):
         result = BiasThresholdExperiment(
             n=2_000, k_values=(2,), num_seeds=4, engine="counts",

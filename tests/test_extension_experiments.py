@@ -52,6 +52,7 @@ class TestGraphTopologyExperiment:
 
 
 class TestFigure1Ensemble:
+    @pytest.mark.slow
     def test_small_ensemble(self):
         result = Figure1EnsembleExperiment(
             n=3_000, k=4, num_seeds=4, engine="counts", max_parallel_time=500.0
@@ -72,6 +73,7 @@ class TestFigure1Ensemble:
 
 
 class TestBinaryLogN:
+    @pytest.mark.slow
     def test_small_sweep(self):
         result = BinaryLogNExperiment(
             n_values=(1_000, 2_000, 4_000),
