@@ -6,6 +6,10 @@ two produce bit-identical aggregates and reporting the speedup.  The
 ≥ 3× speedup assertion only applies where the hardware can deliver it
 (≥ 8 available CPUs) — on smaller machines the benchmark still runs and
 reports, so CI boxes and laptops both get honest numbers.
+
+Speedups persist to ``benchmarks/results/history/`` keyed by commit
+(see ``history.py``), so throughput regressions show up in the recorded
+trajectory instead of vanishing with the terminal scrollback.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from __future__ import annotations
 import time
 
 import numpy as np
+from history import record_benchmark
 
 from repro.analysis import usd_stabilization_ensemble
 from repro.parallel import available_workers
@@ -52,6 +57,16 @@ def test_parallel_ensemble_speedup_and_equivalence(benchmark):
 
     speedup = serial_seconds / parallel_seconds
     cpus = available_workers()
+    record_benchmark(
+        "parallel-ensemble-speedup",
+        {
+            "speedup": speedup,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "workers": WORKERS,
+            "cpus_available": cpus,
+        },
+    )
     print()
     print(
         f"usd_stabilization_ensemble: n={N}, k={K}, {SEEDS} seeds — "

@@ -1,0 +1,78 @@
+"""Sweep-shard throughput: grid points over the pool vs serial.
+
+The sweep layer moves worker parallelism up one level — from runs
+inside one ensemble to whole grid points — so its win shows on grids
+with many moderate points.  This benchmark runs the ``usd2-logn``
+n-grid serially (``workers=0``) and with grid-level workers, asserts
+the sharded/parallel path is bit-identical to serial (the subsystem's
+acceptance contract at benchmark scale), and records points/second
+under ``benchmarks/results/history/`` keyed by commit.
+"""
+
+from __future__ import annotations
+
+import time
+
+from history import record_benchmark
+
+from repro.experiments import BinaryLogNExperiment
+from repro.parallel import available_workers
+from repro.sweep import merge_sweep, write_merged_artifact
+
+PARAMS = dict(
+    n_values=(5_000, 8_000, 12_000, 20_000, 32_000, 50_000),
+    num_seeds=4,
+    engine="batch",
+    max_parallel_time=2_000.0,
+)
+WORKERS = 4
+
+
+def test_sweep_shard_throughput(benchmark, tmp_path):
+    started = time.perf_counter()
+    serial = BinaryLogNExperiment(workers=0, **PARAMS).run()
+    serial_seconds = time.perf_counter() - started
+
+    def _pooled():
+        # two shards into one directory, like two hosts would, then merge
+        for shard in ("0/2", "1/2"):
+            BinaryLogNExperiment(
+                shard=shard, out=tmp_path, workers=WORKERS, **PARAMS
+            ).run()
+        experiment = BinaryLogNExperiment(**PARAMS)
+        merged = merge_sweep(experiment.build_plan(), tmp_path)
+        write_merged_artifact(merged, tmp_path)
+        return experiment.finalize(list(merged.rows))
+
+    pooled = benchmark.pedantic(_pooled, rounds=1, iterations=1)
+    pooled_seconds = benchmark.stats.stats.mean
+
+    # the acceptance contract: sharding + pooling never changes the numbers
+    assert pooled.rows == serial.rows
+    assert pooled.notes == serial.notes
+
+    points = len(PARAMS["n_values"])
+    speedup = serial_seconds / pooled_seconds
+    cpus = available_workers()
+    record_benchmark(
+        "sweep-shard-throughput",
+        {
+            "speedup": speedup,
+            "serial_points_per_sec": points / serial_seconds,
+            "pooled_points_per_sec": points / pooled_seconds,
+            "grid_points": points,
+            "workers": WORKERS,
+            "cpus_available": cpus,
+        },
+    )
+    print()
+    print(
+        f"usd2-logn sweep: {points} grid points — serial {serial_seconds:.2f}s, "
+        f"2 shards × {WORKERS} workers {pooled_seconds:.2f}s → "
+        f"speedup {speedup:.2f}x ({cpus} CPUs available)"
+    )
+    if cpus >= WORKERS:
+        assert speedup >= 1.5, (
+            f"expected >= 1.5x sweep speedup with {WORKERS} workers on "
+            f"{cpus} CPUs, got {speedup:.2f}x"
+        )

@@ -1,0 +1,130 @@
+"""Benchmark history: speedups persisted across commits.
+
+The ROADMAP's complaint is that throughput numbers are printed and then
+lost — regressions get eyeballed, not caught.  :func:`record_benchmark`
+appends one entry per (benchmark, commit) to
+``benchmarks/results/history/<name>.json``; re-recording at the same
+commit overwrites that commit's entry instead of duplicating it.
+:func:`load_history` / :func:`format_trajectory` read the series back:
+
+    python benchmarks/history.py                      # list benchmarks
+    python benchmarks/history.py parallel-ensemble-speedup
+
+prints the commit-by-commit trajectory of the recorded metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+HISTORY_DIR = Path(__file__).parent / "results" / "history"
+
+
+def _repo_state() -> Dict[str, Any]:
+    """The library's git probe, importable with or without PYTHONPATH=src."""
+    try:
+        from repro.sweep.provenance import repo_state
+    except ImportError:  # standalone `python benchmarks/history.py`
+        sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+        from repro.sweep.provenance import repo_state
+    return repo_state()
+
+
+def current_commit() -> str:
+    """Short hash of HEAD, or ``'unknown'`` outside a git checkout.
+
+    A dirty working tree is keyed as ``<hash>+dirty``: the measured code
+    is *not* the committed code, so the measurement must neither claim
+    the commit's identity nor overwrite its genuine trajectory entry.
+    """
+    state = _repo_state()
+    if state["commit"] == "unknown":
+        return "unknown"
+    commit = state["commit"][:7]
+    return f"{commit}+dirty" if state["dirty"] else commit
+
+
+def _history_path(name: str, history_dir: Optional[Union[str, Path]]) -> Path:
+    directory = Path(history_dir) if history_dir is not None else HISTORY_DIR
+    return directory / f"{name}.json"
+
+
+def record_benchmark(
+    name: str,
+    metrics: Dict[str, Any],
+    *,
+    commit: Optional[str] = None,
+    history_dir: Optional[Union[str, Path]] = None,
+) -> Path:
+    """Persist one benchmark measurement keyed by commit.
+
+    Returns the history file path.  ``metrics`` must be JSON-encodable
+    scalars (speedups, seconds, counts).
+    """
+    commit = commit or current_commit()
+    path = _history_path(name, history_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    entries = load_history(name, history_dir=history_dir)
+    entries = [entry for entry in entries if entry["commit"] != commit]
+    entries.append(
+        {
+            "commit": commit,
+            "recorded_at": datetime.now(timezone.utc).isoformat(),
+            "metrics": metrics,
+        }
+    )
+    path.write_text(json.dumps({"name": name, "entries": entries}, indent=2))
+    return path
+
+
+def load_history(
+    name: str, *, history_dir: Optional[Union[str, Path]] = None
+) -> List[Dict[str, Any]]:
+    """All recorded entries for ``name``, oldest first ([] if none)."""
+    path = _history_path(name, history_dir)
+    if not path.exists():
+        return []
+    payload = json.loads(path.read_text())
+    return list(payload.get("entries", []))
+
+
+def format_trajectory(
+    name: str, *, history_dir: Optional[Union[str, Path]] = None
+) -> str:
+    """The commit-by-commit metric trajectory as aligned text lines."""
+    entries = load_history(name, history_dir=history_dir)
+    if not entries:
+        return f"{name}: no recorded history"
+    lines = [f"{name} ({len(entries)} commits)"]
+    for entry in entries:
+        metrics = "  ".join(
+            f"{key}={value:.3f}" if isinstance(value, float) else f"{key}={value}"
+            for key, value in sorted(entry["metrics"].items())
+        )
+        lines.append(f"  {entry['commit']:>10}  {entry['recorded_at'][:10]}  {metrics}")
+    return "\n".join(lines)
+
+
+def main(argv: List[str]) -> int:
+    if argv:
+        for name in argv:
+            print(format_trajectory(name))
+        return 0
+    if not HISTORY_DIR.exists():
+        print(f"no benchmark history under {HISTORY_DIR}")
+        return 0
+    names = sorted(path.stem for path in HISTORY_DIR.glob("*.json"))
+    if not names:
+        print(f"no benchmark history under {HISTORY_DIR}")
+        return 0
+    for name in names:
+        print(format_trajectory(name))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -14,7 +14,9 @@ Population Protocol Model"* (El-Hayek, Elsässer, Schmid — PODC 2025):
 * :mod:`repro.workloads`, :mod:`repro.analysis`,
   :mod:`repro.experiments` — the evaluation harness regenerating
   Figure 1 and validating Lemmas 3.1/3.3/3.4 and Theorem 3.5;
-* :mod:`repro.parallel` — process-pool execution of seed ensembles.
+* :mod:`repro.parallel` — process-pool execution of seed ensembles;
+* :mod:`repro.sweep` — sharded sweep execution over parameter grids,
+  with resumable per-point checkpoints and merged provenance.
 
 Quickstart
 ----------
@@ -39,6 +41,19 @@ argument appears on :func:`repro.analysis.usd_stabilization_ensemble`,
 :func:`repro.theory.estimate_hitting_time`,
 :func:`repro.theory.estimate_drift_empirically` and every registry
 experiment (CLI: ``repro run <id> --workers N``).
+
+Sharded sweeps
+--------------
+Grid experiments (``thm35-scaling``, ``bias-threshold``, ``usd2-logn``)
+execute through :mod:`repro.sweep`: each grid point's seed is
+``derive_seed(root_seed, grid_index)`` — a function of the root seed
+and the grid index only — so a sweep split into ``m`` shards
+(``repro sweep run <id> --shard i/m --out DIR``), possibly on ``m``
+hosts, merges (``repro sweep merge``) into an artifact bit-identical
+to the serial single-host sweep.  Finished points checkpoint to
+``DIR/<id>/point-*.json`` as they complete; ``--resume`` skips them on
+re-run.  See the :mod:`repro.sweep` package docstring for the full
+contract and a two-host walkthrough.
 
 Choosing engine and workers
 ---------------------------
@@ -89,7 +104,7 @@ from .protocols import (
     UndecidedStateDynamics,
     VoterModel,
 )
-from .errors import ParallelError
+from .errors import ParallelError, SweepError
 from .parallel import map_seeds, run_ensemble
 from .rng import derive_seed, make_rng, spawn, spawn_many, spawn_seeds
 from . import (
@@ -99,6 +114,7 @@ from . import (
     io,
     meanfield,
     parallel,
+    sweep,
     theory,
     workloads,
 )
@@ -147,6 +163,7 @@ __all__ = [
     "SchedulerError",
     "SerializationError",
     "SimulationError",
+    "SweepError",
     # subpackages
     "analysis",
     "experiments",
@@ -154,6 +171,7 @@ __all__ = [
     "io",
     "meanfield",
     "parallel",
+    "sweep",
     "theory",
     "workloads",
 ]

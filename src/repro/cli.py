@@ -11,9 +11,21 @@ Subcommands
 ``repro fig1 [--full] [--panel left|right]``
     Shortcut for the Figure 1 reproduction (``--full`` uses the paper's
     n = 10⁶ instead of the default 10⁵).
+``repro sweep run <id> --out DIR [--shard I/M] [--resume] [...]``
+    Execute one shard of a sweep experiment, checkpointing each grid
+    point to ``DIR/<id>/`` as it completes.  ``--resume`` skips points
+    already checkpointed.
+``repro sweep merge <id> --out DIR [...]``
+    Combine all shards' checkpoints into the full artifact
+    (``merged.json`` + ``provenance.json``) and print the report.
+``repro sweep status <id> --out DIR [...]``
+    Show which grid points are done, missing, and who computed them.
 
 Parameter overrides use ``--set name=value`` with values parsed as
-Python literals, e.g. ``--set n=200000 --set k_values=(8,16)``.
+Python literals, e.g. ``--set n=200000 --set k_values=(8,16)``.  The
+sweep subcommands take the *same* ``--set`` overrides as ``run`` —
+the plan (grid + root seed) is rebuilt from them, so pass identical
+overrides to every shard and to the merge.
 """
 
 from __future__ import annotations
@@ -82,6 +94,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fig1.add_argument("--out", type=Path, default=None, help="directory for artifacts")
 
+    sweep = commands.add_parser(
+        "sweep", help="sharded sweep execution: run / merge / status"
+    )
+    sweep_commands = sweep.add_subparsers(dest="sweep_command", required=True)
+    for name, description in (
+        ("run", "execute one shard of a sweep, checkpointing each point"),
+        ("merge", "combine shard checkpoints into the full artifact"),
+        ("status", "show checkpointed vs missing grid points"),
+    ):
+        sub = sweep_commands.add_parser(name, help=description)
+        sub.add_argument(
+            "experiment_id", help="a sweep experiment id from 'repro list'"
+        )
+        sub.add_argument(
+            "--out",
+            type=Path,
+            required=True,
+            help="sweep directory (checkpoints live in <out>/<id>/)",
+        )
+        sub.add_argument(
+            "--set",
+            dest="overrides",
+            action="append",
+            default=[],
+            metavar="NAME=VALUE",
+            help=(
+                "override an experiment parameter; pass the same overrides "
+                "to every shard and to the merge"
+            ),
+        )
+        if name == "run":
+            sub.add_argument(
+                "--shard",
+                default=None,
+                metavar="I/M",
+                help="execute shard I of M (default: the whole grid)",
+            )
+            sub.add_argument(
+                "--resume",
+                action="store_true",
+                help="skip grid points already checkpointed under --out",
+            )
+            sub.add_argument(
+                "--workers",
+                type=int,
+                default=None,
+                metavar="N",
+                help=(
+                    "grid points in flight at once (0 = in-process serial, "
+                    "the default; results are bit-identical regardless)"
+                ),
+            )
+
     certify = commands.add_parser(
         "certify",
         help="instantiate the Theorem 3.5 induction at concrete (n, k, bias)",
@@ -127,6 +192,64 @@ def _run_one(
     if out is not None:
         for path in result.save(out):
             print(f"wrote {path}")
+
+
+def _sweep_experiment_class(experiment_id: str):
+    from .experiments.base import SweepExperiment
+
+    experiment_cls = get_experiment(experiment_id)
+    if not issubclass(experiment_cls, SweepExperiment):
+        raise ReproError(
+            f"experiment {experiment_id!r} is not a sweep experiment; "
+            "sweep subcommands apply to grid sweeps only "
+            "(thm35-scaling, bias-threshold, usd2-logn)"
+        )
+    return experiment_cls
+
+
+def _run_sweep_command(args: Any) -> None:
+    from .sweep import merge_sweep, sweep_status, write_merged_artifact
+
+    experiment_cls = _sweep_experiment_class(args.experiment_id)
+    overrides = parse_overrides(args.overrides)
+    if args.sweep_command == "run":
+        overrides["shard"] = args.shard
+        overrides["resume"] = args.resume
+        overrides["out"] = args.out
+        if args.workers is not None:
+            overrides["workers"] = args.workers
+        result = experiment_cls(**overrides).run()
+        if result.rows:
+            print(render_result(result, plots=False))
+        else:
+            # a shard can legitimately own zero points (more shards than
+            # grid points) — that is a no-op, not a failure
+            for note in result.notes:
+                print(f"note: {note}")
+    elif args.sweep_command == "merge":
+        experiment = experiment_cls(**overrides)
+        merged = merge_sweep(experiment.build_plan(), args.out)
+        # Persist the artifact before finalize(): merged.json must hold the
+        # raw checkpoint rows, the part that is bit-identical per sharding.
+        written = write_merged_artifact(merged, args.out)
+        result = experiment.finalize(list(merged.rows))
+        result.params = dict(experiment.params)
+        print(render_result(result, plots=False))
+        for path in written:
+            print(f"wrote {path}")
+    else:  # status
+        plan = experiment_cls(**overrides).build_plan()
+        status = sweep_status(plan, args.out)
+        print(
+            f"sweep {status.sweep_id}: {len(status.done)}/{status.total} "
+            f"points checkpointed under {args.out}"
+        )
+        if status.shards_seen:
+            print(f"shards seen: {', '.join(status.shards_seen)}")
+        for index in status.missing:
+            print(f"missing: [{index:04d}] {plan.points[index].canonical_label}")
+        if status.complete:
+            print("complete — ready to 'repro sweep merge'")
 
 
 def _print_certificate(n: float, k: float, bias: Optional[float]) -> None:
@@ -187,6 +310,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             for panel in panels:
                 _run_one(panel, overrides, args.out, plots=True)
                 print()
+        elif args.command == "sweep":
+            _run_sweep_command(args)
         elif args.command == "certify":
             _print_certificate(args.n, args.k, args.bias)
     except ReproError as error:

@@ -75,6 +75,15 @@ class ParallelError(ReproError):
     """
 
 
+class SweepError(ReproError):
+    """A sharded sweep was mis-configured or its artifacts are inconsistent.
+
+    Raised e.g. for a malformed ``--shard i/m`` spec, a checkpoint file
+    that belongs to a different plan (wrong root seed or grid point), or
+    a merge over a sweep directory with missing points.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment id is unknown or an experiment was mis-parameterised."""
 

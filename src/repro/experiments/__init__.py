@@ -1,7 +1,7 @@
 """Experiments reproducing every figure and quantitative claim."""
 
 from .ascii_plot import ascii_line_plot
-from .base import Experiment, ExperimentResult
+from .base import Experiment, ExperimentResult, SweepExperiment
 from .exp_bias_threshold import BiasThresholdExperiment
 from .exp_binary_logn import BinaryLogNExperiment
 from .exp_engines import EngineAblationExperiment
@@ -37,6 +37,7 @@ __all__ = [
     "ModelComparisonExperiment",
     "OpinionGrowthExperiment",
     "ScalingExperiment",
+    "SweepExperiment",
     "UndecidedCeilingExperiment",
     "ascii_line_plot",
     "build_scheduler",

@@ -17,11 +17,12 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from ..errors import ExperimentError
+from ..errors import ExperimentError, SweepError
 from ..io.serialization import save_result_rows
 from ..io.tables import format_table
+from ..sweep import ShardSpec, SweepPlan, run_sweep
 
-__all__ = ["ExperimentResult", "Experiment"]
+__all__ = ["ExperimentResult", "Experiment", "SweepExperiment"]
 
 
 @dataclass
@@ -100,7 +101,11 @@ class Experiment(abc.ABC):
     parameters.  ``workers`` sizes the process pool for experiments
     built on seed ensembles (``0`` = in-process serial, ``None`` = all
     CPUs); results are bit-identical for every value, and experiments
-    without an ensemble simply ignore it.
+    without an ensemble simply ignore it.  ``shard``, ``resume`` and
+    ``out`` drive the sharded sweep layer (:mod:`repro.sweep`) for
+    experiments that are grid sweeps (:class:`SweepExperiment`); the
+    rest accept and ignore them, so the registry and CLI can thread
+    them universally.
     """
 
     #: Registry id; subclasses override.
@@ -110,8 +115,14 @@ class Experiment(abc.ABC):
     #: Default parameters; subclasses override.
     DEFAULTS: Dict[str, Any] = {}
     #: Parameters accepted by *every* experiment (subclass DEFAULTS win on
-    #: collision).  Threaded by the registry and the CLI's ``--workers``.
-    GLOBAL_DEFAULTS: Dict[str, Any] = {"workers": 0}
+    #: collision).  Threaded by the registry and the CLI (``--workers``,
+    #: ``sweep run --shard/--resume/--out``).
+    GLOBAL_DEFAULTS: Dict[str, Any] = {
+        "workers": 0,
+        "shard": None,
+        "resume": False,
+        "out": None,
+    }
 
     def __init__(self, **overrides: Any):
         defaults = {**self.GLOBAL_DEFAULTS, **self.DEFAULTS}
@@ -159,3 +170,72 @@ class Experiment(abc.ABC):
     def describe(cls) -> str:
         """One-line description for ``repro list``."""
         return f"{cls.experiment_id}: {cls.title}"
+
+
+class SweepExperiment(Experiment):
+    """An experiment that *is* a parameter-grid sweep.
+
+    Subclasses provide three pieces and inherit sharding, per-point
+    checkpointing, resume and merge from :mod:`repro.sweep`:
+
+    * :meth:`build_plan` — the :class:`~repro.sweep.SweepPlan` (grid +
+      root seed) the parameters describe.  Per-point seeds come from the
+      plan's seed-derivation contract (``derive_seed(root_seed,
+      grid_index)``), never from ad-hoc arithmetic on the parameters.
+    * :meth:`point_task` — a picklable ``task_fn(point, point_seed) →
+      row`` computing one grid point with ``workers=0`` inside (the
+      sweep layer parallelises *across* points).
+    * :meth:`finalize` — post-processing over the full grid's rows
+      (fits, notes, series) into the :class:`ExperimentResult`.
+
+    With the global ``shard`` parameter set to a proper shard
+    (``'i/m'``, m > 1), :meth:`_execute` computes and checkpoints only
+    that shard's points and returns a *partial* result; the full
+    artifact is produced by ``repro sweep merge`` (or
+    :func:`repro.sweep.merge_sweep` + :meth:`finalize`) once every
+    shard has run.
+    """
+
+    @abc.abstractmethod
+    def build_plan(self) -> SweepPlan:
+        """The sweep grid and root seed these parameters describe."""
+
+    @abc.abstractmethod
+    def point_task(self):
+        """Picklable ``task_fn(point, point_seed) -> row`` for one point."""
+
+    @abc.abstractmethod
+    def finalize(self, rows: List[Dict[str, Any]]) -> ExperimentResult:
+        """Assemble the result from the full grid's rows (grid order)."""
+
+    def _execute(self) -> ExperimentResult:
+        plan = self.build_plan()
+        shard = ShardSpec.parse(self.params["shard"])
+        if not shard.is_full and self.params["out"] is None:
+            # a partial shard only makes sense if its points persist for a
+            # later merge; computing them into thin air wastes the grid
+            raise SweepError(
+                f"shard {shard} of {self.experiment_id!r} needs an 'out' "
+                "checkpoint directory — without one the shard's points "
+                "cannot be merged and the work is lost"
+            )
+        run = run_sweep(
+            plan,
+            self.point_task(),
+            shard=shard,
+            workers=self.params["workers"],
+            out_dir=self.params["out"],
+            resume=bool(self.params["resume"]),
+        )
+        if not shard.is_full:
+            return self._result(
+                rows=run.rows,
+                notes=[
+                    f"partial sweep: shard {shard} computed "
+                    f"{len(run.outcomes)}/{len(plan)} grid points "
+                    f"({run.reused} restored from checkpoints); run the "
+                    "remaining shards and 'repro sweep merge' for the "
+                    "full artifact"
+                ],
+            )
+        return self.finalize(run.rows)

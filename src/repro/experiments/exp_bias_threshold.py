@@ -10,16 +10,25 @@ This experiment sweeps the initial bias through
 runs a seed ensemble at each point and reports the majority's win
 fraction — expected to rise from ≈ coin-flip at bias 0 towards 1 around
 the √(n log n) scale.
+
+The (k, bias) grid executes through :mod:`repro.sweep`.  Distinct grid
+points can share the same numeric bias (e.g. ``√(n·ln n)`` and ``2·√n``
+coincide for small n), so each point carries its grid label in
+``extras`` — which is part of the canonical label, keeping checkpoints
+collision-free.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Dict
+from functools import partial
+from typing import Any, Dict, List
 
 from ..analysis.stabilization import usd_stabilization_ensemble
+from ..sweep import SweepPlan
 from ..workloads.initial import paper_initial_configuration
-from .base import Experiment, ExperimentResult
+from ..workloads.sweeps import SweepPoint
+from .base import ExperimentResult, SweepExperiment
 
 __all__ = ["BiasThresholdExperiment"]
 
@@ -37,7 +46,40 @@ def _bias_grid(n: int) -> Dict[str, int]:
     }
 
 
-class BiasThresholdExperiment(Experiment):
+def _threshold_point(
+    point: SweepPoint,
+    point_seed: int,
+    *,
+    num_seeds: int,
+    engine: str,
+    max_parallel_time: float,
+) -> Dict[str, Any]:
+    """One (k, bias) cell of the threshold grid (module-level: pickles)."""
+    config = paper_initial_configuration(point.n, point.k, bias=point.bias)
+    ensemble = usd_stabilization_ensemble(
+        config,
+        num_seeds=num_seeds,
+        seed=point_seed,
+        engine=engine,
+        max_parallel_time=max_parallel_time,
+        workers=0,
+    )
+    return {
+        "n": point.n,
+        "k": point.k,
+        "bias_label": point.extras["bias_label"],
+        "bias": point.bias,
+        "point_seed": point_seed,
+        "majority_win_fraction": ensemble.majority_win_fraction,
+        "all_undecided_fraction": ensemble.undetermined_fraction,
+        "median_stab_time": None
+        if ensemble.times.size == 0
+        else float(ensemble.summary().median),
+        "censored_runs": ensemble.censored,
+    }
+
+
+class BiasThresholdExperiment(SweepExperiment):
     """Majority win fraction as a function of the initial bias."""
 
     experiment_id = "bias-threshold"
@@ -51,34 +93,35 @@ class BiasThresholdExperiment(Experiment):
         "max_parallel_time": 3_000.0,
     }
 
-    def _execute(self) -> ExperimentResult:
+    def build_plan(self) -> SweepPlan:
         n = self.params["n"]
-        rows = []
-        for k in self.params["k_values"]:
-            for label, bias in _bias_grid(n).items():
-                config = paper_initial_configuration(n, k, bias=bias)
-                ensemble = usd_stabilization_ensemble(
-                    config,
-                    num_seeds=self.params["num_seeds"],
-                    seed=self.params["seed"] + 31 * k + bias,
-                    engine=self.params["engine"],
-                    max_parallel_time=self.params["max_parallel_time"],
-                    workers=self.params["workers"],
-                )
-                rows.append(
-                    {
-                        "n": n,
-                        "k": k,
-                        "bias_label": label,
-                        "bias": bias,
-                        "majority_win_fraction": ensemble.majority_win_fraction,
-                        "all_undecided_fraction": ensemble.undetermined_fraction,
-                        "median_stab_time": None
-                        if ensemble.times.size == 0
-                        else float(ensemble.summary().median),
-                        "censored_runs": ensemble.censored,
-                    }
-                )
+        points = [
+            SweepPoint(
+                n=n,
+                k=k,
+                bias=bias,
+                label=f"k={k}, bias={label}",
+                extras={"bias_label": label},
+            )
+            for k in self.params["k_values"]
+            for label, bias in _bias_grid(n).items()
+        ]
+        return SweepPlan(
+            sweep_id=self.experiment_id,
+            points=tuple(points),
+            root_seed=self.params["seed"],
+            meta=self.local_params,
+        )
+
+    def point_task(self):
+        return partial(
+            _threshold_point,
+            num_seeds=self.params["num_seeds"],
+            engine=self.params["engine"],
+            max_parallel_time=self.params["max_parallel_time"],
+        )
+
+    def finalize(self, rows: List[Dict[str, Any]]) -> ExperimentResult:
         notes = []
         for k in self.params["k_values"]:
             k_rows = [row for row in rows if row["k"] == k]

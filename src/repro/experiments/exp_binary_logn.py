@@ -6,25 +6,64 @@ stabilizes in O(log n) parallel time w.h.p. and in expectation
 bound generalises away from.  This experiment sweeps n with k = 2 and
 bias √(n ln n), fits T ≈ c·ln n, and also verifies the trivial Ω(log n)
 coupon-collector lower bound the paper invokes for small k.
+
+The n-grid executes through :mod:`repro.sweep` (one
+:class:`~repro.workloads.sweeps.SweepPoint` per n, seed derived from
+the root seed and the grid index), so it shards and resumes like every
+sweep experiment.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Dict
+from functools import partial
+from typing import Any, Dict, List
 
 import numpy as np
 
 from ..analysis.stabilization import usd_stabilization_ensemble
 from ..analysis.stats import fit_proportional
+from ..sweep import SweepPlan
 from ..theory.bounds import trivial_lower_bound_parallel_time
-from ..workloads.initial import paper_initial_configuration
-from .base import Experiment, ExperimentResult
+from ..workloads.initial import paper_bias, paper_initial_configuration
+from ..workloads.sweeps import SweepPoint
+from .base import ExperimentResult, SweepExperiment
 
 __all__ = ["BinaryLogNExperiment"]
 
 
-class BinaryLogNExperiment(Experiment):
+def _logn_point(
+    point: SweepPoint,
+    point_seed: int,
+    *,
+    num_seeds: int,
+    engine: str,
+    max_parallel_time: float,
+) -> Dict[str, Any]:
+    """One n of the k = 2 grid (module-level so it pickles)."""
+    config = paper_initial_configuration(point.n, 2)
+    ensemble = usd_stabilization_ensemble(
+        config,
+        num_seeds=num_seeds,
+        seed=point_seed,
+        engine=engine,
+        max_parallel_time=max_parallel_time,
+        workers=0,
+    )
+    summary = ensemble.summary()
+    return {
+        "n": point.n,
+        "ln_n": math.log(point.n),
+        "point_seed": point_seed,
+        "median_parallel_time": summary.median,
+        "min_parallel_time": summary.minimum,
+        "trivial_lb_ln_n": trivial_lower_bound_parallel_time(point.n),
+        "majority_won": ensemble.majority_win_fraction,
+        "censored_runs": ensemble.censored,
+    }
+
+
+class BinaryLogNExperiment(SweepExperiment):
     """k = 2 stabilization times across n, against the Θ(log n) law."""
 
     experiment_id = "usd2-logn"
@@ -37,33 +76,29 @@ class BinaryLogNExperiment(Experiment):
         "max_parallel_time": 2_000.0,
     }
 
-    def _execute(self) -> ExperimentResult:
-        rows = []
-        log_ns, medians = [], []
-        for n in self.params["n_values"]:
-            config = paper_initial_configuration(n, 2)
-            ensemble = usd_stabilization_ensemble(
-                config,
-                num_seeds=self.params["num_seeds"],
-                seed=self.params["seed"] + n,
-                engine=self.params["engine"],
-                max_parallel_time=self.params["max_parallel_time"],
-                workers=self.params["workers"],
-            )
-            summary = ensemble.summary()
-            log_ns.append(math.log(n))
-            medians.append(summary.median)
-            rows.append(
-                {
-                    "n": n,
-                    "ln_n": math.log(n),
-                    "median_parallel_time": summary.median,
-                    "min_parallel_time": summary.minimum,
-                    "trivial_lb_ln_n": trivial_lower_bound_parallel_time(n),
-                    "majority_won": ensemble.majority_win_fraction,
-                    "censored_runs": ensemble.censored,
-                }
-            )
+    def build_plan(self) -> SweepPlan:
+        points = [
+            SweepPoint(n=int(n), k=2, bias=paper_bias(int(n)), label=f"n={n}")
+            for n in self.params["n_values"]
+        ]
+        return SweepPlan(
+            sweep_id=self.experiment_id,
+            points=tuple(points),
+            root_seed=self.params["seed"],
+            meta=self.local_params,
+        )
+
+    def point_task(self):
+        return partial(
+            _logn_point,
+            num_seeds=self.params["num_seeds"],
+            engine=self.params["engine"],
+            max_parallel_time=self.params["max_parallel_time"],
+        )
+
+    def finalize(self, rows: List[Dict[str, Any]]) -> ExperimentResult:
+        log_ns = [row["ln_n"] for row in rows]
+        medians = [row["median_parallel_time"] for row in rows]
         fit = fit_proportional(log_ns, medians)
         for row, log_n in zip(rows, log_ns):
             row["fit_c_ln_n"] = fit.slope * log_n

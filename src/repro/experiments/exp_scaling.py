@@ -12,25 +12,67 @@ candidate laws and checks:
 * the *doubling law* ``k·log₂((n/k)/bias)`` — the finite-n form of the
   paper's mechanism (Lemma 3.4's Θ(kn) per doubling × the number of
   doublings from the bias to the Θ(n/k) scale) — explains the data.
+
+The k-grid executes through :mod:`repro.sweep`: each k is one
+:class:`~repro.workloads.sweeps.SweepPoint` whose seed derives from the
+experiment's root ``seed`` and the grid index, so the sweep shards
+across processes and hosts (``shard``/``resume``/``out`` parameters,
+``repro sweep run/merge``) without changing a single number.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from functools import partial
+from typing import Any, Dict, List
 
 from ..analysis.scaling import compare_scaling_laws, law_value
 from ..analysis.stabilization import usd_stabilization_ensemble
+from ..sweep import SweepPlan
 from ..theory.bounds import (
     amir_upper_bound_parallel_time,
     lower_bound_parallel_time,
 )
-from ..workloads.initial import paper_bias, paper_initial_configuration
-from .base import Experiment, ExperimentResult
+from ..workloads.initial import paper_initial_configuration
+from ..workloads.sweeps import SweepPoint, k_sweep
+from .base import ExperimentResult, SweepExperiment
 
 __all__ = ["ScalingExperiment"]
 
 
-class ScalingExperiment(Experiment):
+def _scaling_point(
+    point: SweepPoint,
+    point_seed: int,
+    *,
+    num_seeds: int,
+    engine: str,
+    max_parallel_time: float,
+) -> Dict[str, Any]:
+    """One k of the Theorem 3.5 grid (module-level so it pickles)."""
+    config = paper_initial_configuration(point.n, point.k, point.bias)
+    ensemble = usd_stabilization_ensemble(
+        config,
+        num_seeds=num_seeds,
+        seed=point_seed,
+        engine=engine,
+        max_parallel_time=max_parallel_time,
+        workers=0,
+    )
+    summary = ensemble.summary()
+    return {
+        "n": point.n,
+        "k": point.k,
+        "bias": point.bias,
+        "point_seed": point_seed,
+        "median_parallel_time": summary.median,
+        "min_parallel_time": summary.minimum,
+        "paper_lower_bound": lower_bound_parallel_time(point.n, point.k),
+        "amir_k_log_n": amir_upper_bound_parallel_time(point.n, point.k),
+        "censored_runs": ensemble.censored,
+        "majority_won": ensemble.majority_win_fraction,
+    }
+
+
+class ScalingExperiment(SweepExperiment):
     """Median stabilization time vs k, with fitted scaling laws."""
 
     experiment_id = "thm35-scaling"
@@ -44,40 +86,30 @@ class ScalingExperiment(Experiment):
         "max_parallel_time": 5_000.0,
     }
 
-    def _execute(self) -> ExperimentResult:
-        n = self.params["n"]
-        bias = paper_bias(n)
-        ks, medians, rows = [], [], []
-        for k in self.params["k_values"]:
-            config = paper_initial_configuration(n, k, bias)
-            ensemble = usd_stabilization_ensemble(
-                config,
-                num_seeds=self.params["num_seeds"],
-                seed=self.params["seed"] + k,
-                engine=self.params["engine"],
-                max_parallel_time=self.params["max_parallel_time"],
-                workers=self.params["workers"],
-            )
-            summary = ensemble.summary()
-            ks.append(k)
-            medians.append(summary.median)
-            rows.append(
-                {
-                    "n": n,
-                    "k": k,
-                    "bias": bias,
-                    "median_parallel_time": summary.median,
-                    "min_parallel_time": summary.minimum,
-                    "paper_lower_bound": lower_bound_parallel_time(n, k),
-                    "amir_k_log_n": amir_upper_bound_parallel_time(n, k),
-                    "censored_runs": ensemble.censored,
-                    "majority_won": ensemble.majority_win_fraction,
-                }
-            )
+    def build_plan(self) -> SweepPlan:
+        points = k_sweep(self.params["n"], self.params["k_values"])
+        return SweepPlan(
+            sweep_id=self.experiment_id,
+            points=tuple(points),
+            root_seed=self.params["seed"],
+            meta=self.local_params,
+        )
 
-        biases = [bias] * len(ks)
+    def point_task(self):
+        return partial(
+            _scaling_point,
+            num_seeds=self.params["num_seeds"],
+            engine=self.params["engine"],
+            max_parallel_time=self.params["max_parallel_time"],
+        )
+
+    def finalize(self, rows: List[Dict[str, Any]]) -> ExperimentResult:
+        n = self.params["n"]
+        ks = [row["k"] for row in rows]
+        medians = [row["median_parallel_time"] for row in rows]
+        biases = [row["bias"] for row in rows]
         comparison = compare_scaling_laws([n] * len(ks), ks, medians, biases)
-        for row, k in zip(rows, ks):
+        for row, k, bias in zip(rows, ks, biases):
             for law, fit in comparison.fits.items():
                 row[f"fit_{law}"] = fit.slope * law_value(law, n, k, bias)
 

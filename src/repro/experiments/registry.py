@@ -66,7 +66,10 @@ def run_experiment(experiment_id: str, **params: Any) -> ExperimentResult:
     """Instantiate and run an experiment by id with parameter overrides.
 
     Besides each experiment's own ``DEFAULTS``, the global parameters of
-    :class:`Experiment` (notably ``workers``, the ensemble process-pool
-    size) are accepted for every id and threaded through unchanged.
+    :class:`Experiment` are accepted for every id and threaded through
+    unchanged: ``workers`` (the process-pool size) plus the sweep-layer
+    trio ``shard``/``resume``/``out`` (sharded execution, checkpoint
+    reuse and checkpoint directory for :class:`~repro.experiments.base.
+    SweepExperiment` subclasses; ignored by non-sweep experiments).
     """
     return get_experiment(experiment_id)(**params).run()

@@ -13,6 +13,11 @@ experiment, :func:`repro.theory.estimate_hitting_time` and
 :func:`repro.theory.estimate_drift_empirically` — each accepts a
 ``workers`` argument, as does every registry experiment (CLI:
 ``repro run <id> --workers N``).
+
+On top of the ensemble pool, :func:`parallel_map_completed` surfaces
+each result the moment it completes (still returning input order) —
+the primitive :mod:`repro.sweep` uses to checkpoint finished grid
+points while the rest of a shard is still running.
 """
 
 from .pool import (
@@ -20,6 +25,7 @@ from .pool import (
     ensemble_seeds,
     map_seeds,
     parallel_map,
+    parallel_map_completed,
     resolve_workers,
     run_ensemble,
 )
@@ -29,6 +35,7 @@ __all__ = [
     "ensemble_seeds",
     "map_seeds",
     "parallel_map",
+    "parallel_map_completed",
     "resolve_workers",
     "run_ensemble",
 ]

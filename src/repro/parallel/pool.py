@@ -28,7 +28,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, List, Optional, Sequence
 
@@ -41,6 +41,7 @@ __all__ = [
     "resolve_workers",
     "ensemble_seeds",
     "parallel_map",
+    "parallel_map_completed",
     "run_ensemble",
     "map_seeds",
 ]
@@ -146,6 +147,60 @@ def parallel_map(
             "a worker process died while executing the ensemble; rerun with "
             "workers=0 to reproduce the failure in-process"
         ) from exc
+
+
+def parallel_map_completed(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    *,
+    workers: Optional[int] = 0,
+    on_result: Optional[Callable[[int, Any], None]] = None,
+) -> List[Any]:
+    """Like :func:`parallel_map`, but surfaces results as they complete.
+
+    ``on_result(index, result)`` is invoked once per item as soon as its
+    result is available — in input order for ``workers=0``, in
+    *completion* order on a pool — which lets callers checkpoint
+    incrementally instead of waiting for the whole map (the sweep
+    runner's resume granularity depends on this).  The returned list is
+    still in input order, so determinism contracts are unaffected: only
+    the callback observes scheduling.
+
+    One item per task (no chunking): callers checkpoint per item, so a
+    chunk lost to an interruption would forfeit finished work.
+    """
+    items = list(items)
+    pool_size = min(resolve_workers(workers), len(items))
+    if pool_size <= 0:
+        results = []
+        for index, item in enumerate(items):
+            value = fn(item)
+            if on_result is not None:
+                on_result(index, value)
+            results.append(value)
+        return results
+    _ensure_picklable(fn)
+    results: List[Any] = [None] * len(items)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=pool_size, mp_context=multiprocessing.get_context()
+        ) as executor:
+            futures = {
+                executor.submit(fn, item): index
+                for index, item in enumerate(items)
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                value = future.result()
+                if on_result is not None:
+                    on_result(index, value)
+                results[index] = value
+    except BrokenProcessPool as exc:
+        raise ParallelError(
+            "a worker process died while executing the sweep; rerun with "
+            "workers=0 to reproduce the failure in-process"
+        ) from exc
+    return results
 
 
 def run_ensemble(

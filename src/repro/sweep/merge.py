@@ -1,0 +1,120 @@
+"""Merging shard checkpoints into one sweep artifact.
+
+:func:`merge_sweep` reads every point checkpoint a plan expects from a
+sweep directory (written by any number of shards, on any number of
+hosts), verifies each against the plan, and assembles the rows in grid
+order.  :func:`write_merged_artifact` then persists two files:
+
+``merged.json``
+    The *results*: rows plus the determinism-covered provenance (sweep
+    id, root seed, per-point seeds, canonical point labels).  This file
+    is **byte-identical** however the sweep was executed — serially, as
+    ``m`` shards, with any worker count — which is exactly what the CI
+    determinism check diffs.
+
+``provenance.json``
+    The *execution record*: which shard produced each point, the repo
+    state at merge time, and the plan's free-form ``meta``.  This file
+    legitimately differs between a ``2``-shard and an unsharded run —
+    that is its job.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from ..errors import SweepError
+from ..io.serialization import _jsonable, save_result_rows
+from .plan import SweepPlan
+from .provenance import repo_state
+from .runner import _verify_checkpoint, load_checkpoint, sweep_directory
+
+__all__ = ["MergedSweep", "merge_sweep", "write_merged_artifact"]
+
+
+@dataclass(frozen=True)
+class MergedSweep:
+    """A fully merged sweep: rows in grid order plus provenance."""
+
+    sweep_id: str
+    rows: Tuple[Dict[str, Any], ...]
+    root_seed: int
+    point_seeds: Tuple[int, ...]
+    point_labels: Tuple[str, ...]
+    shard_map: Dict[str, str]
+    meta: Dict[str, Any]
+
+    def results_payload(self) -> Dict[str, Any]:
+        """The determinism-covered part — identical for every sharding."""
+        return {
+            "sweep_id": self.sweep_id,
+            "root_seed": self.root_seed,
+            "point_seeds": list(self.point_seeds),
+            "points": list(self.point_labels),
+        }
+
+    def provenance_payload(self) -> Dict[str, Any]:
+        """The execution record — how this particular merge was produced."""
+        return {
+            "sweep_id": self.sweep_id,
+            "root_seed": self.root_seed,
+            "point_seeds": list(self.point_seeds),
+            "shard_map": dict(self.shard_map),
+            "repo_state": repo_state(),
+            "meta": _jsonable(self.meta),
+        }
+
+
+def merge_sweep(plan: SweepPlan, out_dir: Union[str, Path]) -> MergedSweep:
+    """Combine every checkpoint of ``plan`` under ``out_dir``.
+
+    Raises :class:`~repro.errors.SweepError` listing the missing points
+    when the sweep is incomplete (i.e. some shard has not run yet).
+    """
+    directory = sweep_directory(plan, out_dir)
+    rows: List[Dict[str, Any]] = []
+    shard_map: Dict[str, str] = {}
+    missing: List[str] = []
+    for index, point in enumerate(plan.points):
+        path = directory / plan.checkpoint_name(index)
+        if not path.exists():
+            missing.append(point.canonical_label)
+            continue
+        payload = load_checkpoint(path)
+        _verify_checkpoint(plan, index, payload, path)
+        rows.append(payload["row"])
+        shard_map[point.canonical_label] = str(payload.get("shard", "?"))
+    if missing:
+        raise SweepError(
+            f"sweep {plan.sweep_id!r} is incomplete under {directory}: "
+            f"{len(missing)}/{len(plan)} points missing "
+            f"({', '.join(missing[:5])}{', …' if len(missing) > 5 else ''}). "
+            "Run the remaining shards before merging."
+        )
+    return MergedSweep(
+        sweep_id=plan.sweep_id,
+        rows=tuple(rows),
+        root_seed=plan.root_seed,
+        point_seeds=tuple(plan.point_seeds()),
+        point_labels=tuple(p.canonical_label for p in plan.points),
+        shard_map=shard_map,
+        meta=dict(plan.meta),
+    )
+
+
+def write_merged_artifact(
+    merged: MergedSweep, out_dir: Union[str, Path]
+) -> List[Path]:
+    """Write ``merged.json`` + ``provenance.json`` into the sweep dir."""
+    directory = Path(out_dir) / merged.sweep_id
+    directory.mkdir(parents=True, exist_ok=True)
+    results_path = directory / "merged.json"
+    save_result_rows(list(merged.rows), results_path, extra=merged.results_payload())
+    provenance_path = directory / "provenance.json"
+    provenance_path.write_text(
+        json.dumps(merged.provenance_payload(), indent=2, sort_keys=True)
+    )
+    return [results_path, provenance_path]

@@ -1,0 +1,42 @@
+"""Repository-state provenance for merged sweep artifacts.
+
+A merged sweep is only reproducible if the artifact records which code
+produced it.  :func:`repo_state` captures the git commit and dirty flag
+of the working tree (best effort — outside a checkout it degrades to
+``"unknown"`` rather than failing a sweep over a packaging detail).
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import Any, Dict
+
+__all__ = ["repo_state"]
+
+
+def _git(args: list, cwd: Path) -> str:
+    return subprocess.run(
+        ["git", *args],
+        cwd=cwd,
+        check=True,
+        capture_output=True,
+        text=True,
+        timeout=10,
+    ).stdout.strip()
+
+
+def repo_state() -> Dict[str, Any]:
+    """``{"commit": <sha or 'unknown'>, "dirty": <bool or None>}``.
+
+    ``dirty`` is ``None`` when the state could not be determined (no git,
+    not a checkout); callers treat that as "provenance unavailable", not
+    as clean.
+    """
+    cwd = Path(__file__).resolve().parent
+    try:
+        commit = _git(["rev-parse", "HEAD"], cwd)
+        dirty = bool(_git(["status", "--porcelain"], cwd))
+        return {"commit": commit, "dirty": dirty}
+    except Exception:
+        return {"commit": "unknown", "dirty": None}

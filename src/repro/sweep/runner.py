@@ -1,0 +1,298 @@
+"""Shard execution with per-point checkpoints and resume.
+
+:func:`run_sweep` executes the points a shard owns by fanning them over
+the :mod:`repro.parallel` pool (one grid point per task — the inner
+ensembles run serially inside the worker, so worker parallelism moves
+*up* one level from PR 1's intra-ensemble pool to the grid itself).
+
+Each finished point is checkpointed immediately to
+``<out>/<sweep_id>/point-<index>-<label>.json`` — written atomically, in
+completion order, via :func:`repro.parallel.parallel_map_completed` —
+so an interrupted sweep loses at most the points that were mid-flight.
+Re-running with ``resume=True`` loads finished checkpoints (after
+verifying they belong to this exact plan: same root seed, same grid
+point, same per-point seed) and executes only the remainder.
+
+Rows are normalised through a JSON round-trip before they are returned
+*or* checkpointed, so a resumed/merged sweep is byte-identical to an
+uninterrupted one — there is no "fresh row vs loaded row" divergence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from ..errors import SweepError
+from ..io.serialization import _jsonable
+from ..parallel import parallel_map_completed
+from ..workloads.sweeps import SweepPoint
+from .plan import ShardSpec, SweepPlan
+
+__all__ = [
+    "PointOutcome",
+    "ShardRun",
+    "SweepStatus",
+    "run_sweep",
+    "sweep_status",
+    "load_checkpoint",
+]
+
+#: Callable computing one grid point: ``task_fn(point, point_seed) -> row``.
+PointTask = Callable[[SweepPoint, int], Dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """One computed (or checkpoint-restored) grid point."""
+
+    index: int
+    point: SweepPoint
+    seed: int
+    row: Dict[str, Any]
+    reused: bool
+
+
+@dataclass(frozen=True)
+class ShardRun:
+    """Everything one :func:`run_sweep` call produced, in grid order."""
+
+    sweep_id: str
+    shard: ShardSpec
+    outcomes: Tuple[PointOutcome, ...]
+
+    @property
+    def rows(self) -> List[Dict[str, Any]]:
+        """The rows of this shard's points, ordered by grid index."""
+        return [outcome.row for outcome in self.outcomes]
+
+    @property
+    def executed(self) -> int:
+        """Points actually computed by this call."""
+        return sum(1 for outcome in self.outcomes if not outcome.reused)
+
+    @property
+    def reused(self) -> int:
+        """Points restored from checkpoints instead of re-executed."""
+        return sum(1 for outcome in self.outcomes if outcome.reused)
+
+
+@dataclass(frozen=True)
+class SweepStatus:
+    """Checkpoint inventory of a sweep directory against a plan."""
+
+    sweep_id: str
+    total: int
+    done: Tuple[int, ...]
+    missing: Tuple[int, ...]
+    shards_seen: Tuple[str, ...]
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing
+
+
+class _PointTask:
+    """Picklable adapter running ``task_fn`` on ``(index, point, seed)``."""
+
+    def __init__(self, task_fn: PointTask):
+        self.task_fn = task_fn
+
+    def __call__(self, item: Tuple[int, SweepPoint, int]) -> Dict[str, Any]:
+        _, point, seed = item
+        return _canonical_row(self.task_fn(point, seed))
+
+
+def _canonical_row(row: Dict[str, Any]) -> Dict[str, Any]:
+    """Normalise a row through the exact JSON round-trip checkpoints use."""
+    if not isinstance(row, dict):
+        raise SweepError(
+            f"sweep point tasks must return a dict row, got {type(row).__name__}"
+        )
+    return json.loads(json.dumps(_jsonable(row), sort_keys=True))
+
+
+def _canonical_meta(meta: Dict[str, Any]) -> Dict[str, Any]:
+    """Plan meta in checkpoint-comparable form (tuples become lists)."""
+    return json.loads(json.dumps(_jsonable(meta), sort_keys=True))
+
+
+def sweep_directory(plan: SweepPlan, out_dir: Union[str, Path]) -> Path:
+    """The checkpoint directory of ``plan`` under ``out_dir``."""
+    return Path(out_dir) / plan.sweep_id
+
+
+def _checkpoint_payload(
+    plan: SweepPlan, index: int, seed: int, shard: ShardSpec, row: Dict[str, Any]
+) -> Dict[str, Any]:
+    point = plan.points[index]
+    return {
+        "sweep_id": plan.sweep_id,
+        "point_index": index,
+        "canonical_label": point.canonical_label,
+        "point": {
+            "n": point.n,
+            "k": point.k,
+            "bias": point.bias,
+            "label": point.label,
+            "extras": _jsonable(point.extras),
+        },
+        "seed": seed,
+        "root_seed": plan.root_seed,
+        "meta": _canonical_meta(plan.meta),
+        "shard": str(shard),
+        "row": row,
+    }
+
+
+def _write_checkpoint(path: Path, payload: Dict[str, Any]) -> None:
+    """Atomic write: a reader (or a resume) never sees a torn checkpoint."""
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read one checkpoint file, validating its structure."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SweepError(f"could not read sweep checkpoint {path}: {exc}") from exc
+    required = {"sweep_id", "point_index", "canonical_label", "seed", "root_seed", "row"}
+    if not isinstance(payload, dict) or not required <= set(payload):
+        raise SweepError(f"{path} is not a sweep checkpoint file")
+    return payload
+
+
+def _verify_checkpoint(
+    plan: SweepPlan, index: int, payload: Dict[str, Any], path: Path
+) -> None:
+    """A checkpoint may only be reused for the exact plan that wrote it."""
+    point = plan.points[index]
+    expected = {
+        "sweep_id": plan.sweep_id,
+        "point_index": index,
+        "canonical_label": point.canonical_label,
+        "seed": plan.point_seed(index),
+        "root_seed": plan.root_seed,
+        # meta carries the computation parameters (num_seeds, engine, …):
+        # a checkpoint computed under different --set overrides is a
+        # different number, not a reusable one.
+        "meta": _canonical_meta(plan.meta),
+    }
+    for key, value in expected.items():
+        if payload.get(key) != value:
+            raise SweepError(
+                f"checkpoint {path} does not match the current plan: "
+                f"{key} is {payload.get(key)!r}, expected {value!r}. "
+                "The sweep directory belongs to a different plan — "
+                "use a fresh --out directory (or delete the stale files)."
+            )
+
+
+def run_sweep(
+    plan: SweepPlan,
+    task_fn: PointTask,
+    *,
+    shard: Union[None, str, ShardSpec] = None,
+    workers: Optional[int] = 0,
+    out_dir: Union[None, str, Path] = None,
+    resume: bool = False,
+) -> ShardRun:
+    """Execute the points of ``plan`` owned by ``shard``.
+
+    Parameters
+    ----------
+    task_fn:
+        ``task_fn(point, point_seed) -> row`` computing one grid point.
+        Must be a module-level callable (or :func:`functools.partial` of
+        one) when ``workers > 0``.  The per-point seed is
+        ``plan.point_seed(grid_index)`` — the task must derive *all* of
+        its randomness from it.
+    shard:
+        ``'i/m'`` / :class:`ShardSpec` / ``None`` (whole plan).
+    workers:
+        Grid points in flight at once (``0`` in-process serial, ``None``
+        all CPUs).  Results are bit-identical for every value.
+    out_dir:
+        Checkpoint root; points land in ``<out_dir>/<sweep_id>/``.
+        ``None`` disables checkpointing (and therefore resume).
+    resume:
+        Reuse verified checkpoints instead of re-executing their points.
+    """
+    shard = ShardSpec.parse(shard)
+    if resume and out_dir is None:
+        raise SweepError("resume=True requires an out_dir to resume from")
+    directory: Optional[Path] = None
+    if out_dir is not None:
+        directory = sweep_directory(plan, out_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+
+    restored: Dict[int, Dict[str, Any]] = {}
+    pending: List[Tuple[int, SweepPoint, int]] = []
+    for index, point in plan.items(shard):
+        seed = plan.point_seed(index)
+        if resume and directory is not None:
+            path = directory / plan.checkpoint_name(index)
+            if path.exists():
+                payload = load_checkpoint(path)
+                _verify_checkpoint(plan, index, payload, path)
+                restored[index] = _canonical_row(payload["row"])
+                continue
+        pending.append((index, point, seed))
+
+    def _checkpoint(position: int, row: Dict[str, Any]) -> None:
+        index, _, seed = pending[position]
+        if directory is not None:
+            _write_checkpoint(
+                directory / plan.checkpoint_name(index),
+                _checkpoint_payload(plan, index, seed, shard, row),
+            )
+
+    computed_rows = parallel_map_completed(
+        _PointTask(task_fn), pending, workers=workers, on_result=_checkpoint
+    )
+    computed = {
+        index: row for (index, _, _), row in zip(pending, computed_rows)
+    }
+
+    outcomes = []
+    for index, point in plan.items(shard):
+        reused = index in restored
+        row = restored[index] if reused else computed[index]
+        outcomes.append(
+            PointOutcome(
+                index=index,
+                point=point,
+                seed=plan.point_seed(index),
+                row=row,
+                reused=reused,
+            )
+        )
+    return ShardRun(sweep_id=plan.sweep_id, shard=shard, outcomes=tuple(outcomes))
+
+
+def sweep_status(plan: SweepPlan, out_dir: Union[str, Path]) -> SweepStatus:
+    """Which of ``plan``'s points are checkpointed under ``out_dir``."""
+    directory = sweep_directory(plan, out_dir)
+    done, missing, shards = [], [], set()
+    for index in range(len(plan)):
+        path = directory / plan.checkpoint_name(index)
+        if path.exists():
+            payload = load_checkpoint(path)
+            _verify_checkpoint(plan, index, payload, path)
+            done.append(index)
+            shards.add(str(payload.get("shard", "?")))
+        else:
+            missing.append(index)
+    return SweepStatus(
+        sweep_id=plan.sweep_id,
+        total=len(plan),
+        done=tuple(done),
+        missing=tuple(missing),
+        shards_seen=tuple(sorted(shards)),
+    )

@@ -5,6 +5,12 @@ grids are the fixed-``n`` k-sweep (Theorem 3.5 shape in ``k``), the
 n-sweep along the paper's ``k(n) = √n/(log n · log log n)`` schedule
 (Figure 1's regime), and bias sweeps around the ``√(n log n)``
 threshold.
+
+Every point has a *canonical label* — derived from ``(n, k, bias)``
+**and** the sorted ``extras`` — that uniquely identifies it inside a
+grid.  The sweep-execution layer (:mod:`repro.sweep`) keys checkpoint
+files and merge validation on canonical labels, so the grid
+constructors reject duplicate labels up front.
 """
 
 from __future__ import annotations
@@ -16,7 +22,13 @@ from ..errors import ExperimentError
 from ..theory.bounds import paper_k_schedule
 from .initial import paper_bias
 
-__all__ = ["SweepPoint", "k_sweep", "n_sweep_paper_schedule", "bias_sweep"]
+__all__ = [
+    "SweepPoint",
+    "ensure_unique_labels",
+    "k_sweep",
+    "n_sweep_paper_schedule",
+    "bias_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -47,6 +59,42 @@ class SweepPoint:
                 f"invalid sweep point (n={self.n}, k={self.k}, bias={self.bias})"
             )
 
+    @property
+    def canonical_label(self) -> str:
+        """Unique identifier of the point inside its grid.
+
+        Built from ``(n, k, bias)`` plus every ``extras`` entry in sorted
+        key order, so two points that differ only in ``extras`` — e.g.
+        the same ``(n, k)`` swept at two gap values α — never collide.
+        The human-readable ``label`` is deliberately *not* part of it:
+        labels are free-form display text.
+        """
+        parts = [f"n={self.n}", f"k={self.k}", f"bias={self.bias}"]
+        parts.extend(f"{key}={self.extras[key]}" for key in sorted(self.extras))
+        return ",".join(parts)
+
+
+def ensure_unique_labels(points: Sequence[SweepPoint]) -> Sequence[SweepPoint]:
+    """Reject grids whose points collide on :attr:`~SweepPoint.canonical_label`.
+
+    Returns ``points`` unchanged so constructors can end with
+    ``return ensure_unique_labels(points)``.
+    """
+    seen: dict = {}
+    duplicates = []
+    for point in points:
+        label = point.canonical_label
+        if label in seen:
+            duplicates.append(label)
+        seen[label] = point
+    if duplicates:
+        raise ExperimentError(
+            "sweep grid contains duplicate points: "
+            + ", ".join(sorted(set(duplicates)))
+            + " (distinguish them via SweepPoint.extras)"
+        )
+    return points
+
 
 def k_sweep(
     n: int,
@@ -63,6 +111,7 @@ def k_sweep(
         points.append(SweepPoint(n=n, k=int(k), bias=b, label=f"k={k}"))
     if not points:
         raise ExperimentError("k_sweep needs at least one k value")
+    ensure_unique_labels(points)
     return points
 
 
@@ -76,6 +125,7 @@ def n_sweep_paper_schedule(n_values: Sequence[int]) -> List[SweepPoint]:
         points.append(
             SweepPoint(n=int(n), k=k, bias=paper_bias(int(n)), label=f"n={n}")
         )
+    ensure_unique_labels(points)
     return points
 
 
@@ -87,6 +137,8 @@ def bias_sweep(
     """Fixed ``(n, k)``, varying bias — the winner-correctness threshold grid."""
     if not bias_values:
         raise ExperimentError("bias sweep needs at least one bias value")
-    return [
+    points = [
         SweepPoint(n=n, k=k, bias=int(b), label=f"bias={b}") for b in bias_values
     ]
+    ensure_unique_labels(points)
+    return points

@@ -1,0 +1,62 @@
+"""Tests for the benchmark-history persistence (benchmarks/history.py).
+
+The module lives next to the bench files (outside the package) so the
+tests import it by path, the same way pytest's rootdir insertion does
+when the benchmarks run.
+"""
+
+import sys
+from pathlib import Path
+
+BENCHMARKS_DIR = Path(__file__).parent.parent / "benchmarks"
+sys.path.insert(0, str(BENCHMARKS_DIR))
+
+from history import (  # noqa: E402 (path bootstrap above)
+    current_commit,
+    format_trajectory,
+    load_history,
+    record_benchmark,
+)
+
+
+class TestRecordAndLoad:
+    def test_roundtrip(self, tmp_path):
+        record_benchmark(
+            "demo", {"speedup": 3.2, "workers": 8}, commit="aaa111",
+            history_dir=tmp_path,
+        )
+        entries = load_history("demo", history_dir=tmp_path)
+        assert len(entries) == 1
+        assert entries[0]["commit"] == "aaa111"
+        assert entries[0]["metrics"] == {"speedup": 3.2, "workers": 8}
+
+    def test_same_commit_overwrites_not_duplicates(self, tmp_path):
+        record_benchmark("demo", {"speedup": 1.0}, commit="c1", history_dir=tmp_path)
+        record_benchmark("demo", {"speedup": 2.0}, commit="c2", history_dir=tmp_path)
+        record_benchmark("demo", {"speedup": 2.5}, commit="c2", history_dir=tmp_path)
+        entries = load_history("demo", history_dir=tmp_path)
+        assert [entry["commit"] for entry in entries] == ["c1", "c2"]
+        assert entries[-1]["metrics"]["speedup"] == 2.5
+
+    def test_missing_history_is_empty(self, tmp_path):
+        assert load_history("nothing", history_dir=tmp_path) == []
+
+    def test_trajectory_rendering(self, tmp_path):
+        record_benchmark("demo", {"speedup": 3.21}, commit="c1", history_dir=tmp_path)
+        record_benchmark("demo", {"speedup": 3.5}, commit="c2", history_dir=tmp_path)
+        text = format_trajectory("demo", history_dir=tmp_path)
+        assert "demo (2 commits)" in text
+        assert "c1" in text and "speedup=3.210" in text
+        assert format_trajectory("nope", history_dir=tmp_path).endswith(
+            "no recorded history"
+        )
+
+    def test_current_commit_marks_dirty_trees(self):
+        """Measurements from uncommitted code must not impersonate HEAD."""
+        commit = current_commit()
+        # runs from a dirty tree during development and a clean one in CI,
+        # so only the shape is assertable: '<hash>', '<hash>+dirty', 'unknown'
+        assert commit
+        head, _, suffix = commit.partition("+")
+        assert head == "unknown" or head.isalnum()
+        assert suffix in ("", "dirty")

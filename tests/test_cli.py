@@ -59,3 +59,68 @@ class TestCommands:
         parser = build_parser()
         args = parser.parse_args(["fig1", "--full", "--panel", "right"])
         assert args.full and args.panel == "right"
+
+
+class TestSweepCommands:
+    OVERRIDES = [
+        "--set", "n_values=(400,600,900)",
+        "--set", "num_seeds=2",
+        "--set", "engine=counts",
+        "--set", "max_parallel_time=400.0",
+    ]
+
+    def _sweep(self, *argv, out):
+        return main(["sweep", *argv, "--out", str(out), *self.OVERRIDES])
+
+    def test_sharded_run_status_merge(self, capsys, tmp_path):
+        assert self._sweep("run", "usd2-logn", "--shard", "0/2", out=tmp_path) == 0
+        capsys.readouterr()
+
+        assert self._sweep("status", "usd2-logn", out=tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "2/3 points checkpointed" in out and "missing" in out
+
+        assert self._sweep("run", "usd2-logn", "--shard", "1/2", out=tmp_path) == 0
+        capsys.readouterr()
+
+        assert self._sweep("merge", "usd2-logn", out=tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert (tmp_path / "usd2-logn" / "merged.json").exists()
+        assert (tmp_path / "usd2-logn" / "provenance.json").exists()
+
+    def test_empty_shard_is_a_noop_not_a_failure(self, capsys, tmp_path):
+        """More shards than grid points: the extra shards own nothing."""
+        assert self._sweep("run", "usd2-logn", "--shard", "4/5", out=tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "0/3 grid points" in out
+
+    def test_resume_flag_accepted(self, capsys, tmp_path):
+        assert self._sweep("run", "usd2-logn", out=tmp_path) == 0
+        capsys.readouterr()
+        assert (
+            self._sweep("run", "usd2-logn", "--resume", out=tmp_path) == 0
+        )
+
+    def test_merge_before_all_shards_fails(self, capsys, tmp_path):
+        assert self._sweep("run", "usd2-logn", "--shard", "0/2", out=tmp_path) == 0
+        capsys.readouterr()
+        assert self._sweep("merge", "usd2-logn", out=tmp_path) == 1
+        assert "incomplete" in capsys.readouterr().err
+
+    def test_non_sweep_experiment_rejected(self, capsys, tmp_path):
+        code = main(["sweep", "run", "fig1-left", "--out", str(tmp_path)])
+        assert code == 1
+        assert "not a sweep experiment" in capsys.readouterr().err
+
+    def test_bad_shard_spec_fails(self, capsys, tmp_path):
+        code = main(
+            [
+                "sweep", "run", "usd2-logn",
+                "--shard", "9/3",
+                "--out", str(tmp_path),
+                *self.OVERRIDES,
+            ]
+        )
+        assert code == 1
+        assert "shard" in capsys.readouterr().err

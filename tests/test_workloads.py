@@ -11,6 +11,7 @@ from repro.theory import u_tilde
 from repro.workloads import (
     SweepPoint,
     bias_sweep,
+    ensure_unique_labels,
     k_sweep,
     n_sweep_paper_schedule,
     paper_bias,
@@ -157,3 +158,46 @@ class TestSweeps:
         assert [p.bias for p in points] == [0, 10, 100]
         with pytest.raises(ExperimentError):
             bias_sweep(10_000, 4, [])
+
+
+class TestCanonicalLabels:
+    def test_extras_included_in_canonical_label(self):
+        """Points differing only in extras must not collide."""
+        plain = SweepPoint(n=1_000, k=4, bias=10)
+        with_alpha = SweepPoint(n=1_000, k=4, bias=10, extras={"alpha": 500})
+        assert plain.canonical_label != with_alpha.canonical_label
+        assert "alpha=500" in with_alpha.canonical_label
+
+    def test_display_label_not_part_of_canonical_label(self):
+        a = SweepPoint(n=1_000, k=4, bias=10, label="pretty")
+        b = SweepPoint(n=1_000, k=4, bias=10, label="prettier")
+        assert a.canonical_label == b.canonical_label
+
+    def test_extras_order_does_not_matter(self):
+        a = SweepPoint(n=1_000, k=4, bias=10, extras={"a": 1, "b": 2})
+        b = SweepPoint(n=1_000, k=4, bias=10, extras={"b": 2, "a": 1})
+        assert a.canonical_label == b.canonical_label
+
+    def test_ensure_unique_labels_passes_distinct_grid(self):
+        points = k_sweep(10_000, [4, 8])
+        assert ensure_unique_labels(points) is points
+
+    def test_ensure_unique_labels_rejects_duplicates(self):
+        duplicate = [
+            SweepPoint(n=1_000, k=4, bias=10),
+            SweepPoint(n=1_000, k=4, bias=10, label="other"),
+        ]
+        with pytest.raises(ExperimentError, match="duplicate"):
+            ensure_unique_labels(duplicate)
+
+    def test_k_sweep_guards_duplicate_ks(self):
+        with pytest.raises(ExperimentError, match="duplicate"):
+            k_sweep(10_000, [4, 4])
+
+    def test_bias_sweep_guards_duplicate_biases(self):
+        with pytest.raises(ExperimentError, match="duplicate"):
+            bias_sweep(10_000, 4, [10, 10])
+
+    def test_n_sweep_guards_duplicate_ns(self):
+        with pytest.raises(ExperimentError, match="duplicate"):
+            n_sweep_paper_schedule([10_000, 10_000])
