@@ -3,15 +3,26 @@
 DESIGN.md's substitution argument rests on the τ-leaping batch engine
 agreeing with the exact engines while being fast enough for the paper's
 n = 10⁶ scale.  This module benchmarks (a) the end-to-end ablation
-experiment and (b) raw per-engine stepping throughput at the sizes each
-engine targets.
+experiment, (b) raw per-engine stepping throughput at the sizes each
+engine targets, and (c) per-*backend* kernel throughput (the ISSUE 3
+acceptance run): counts and batch engines at n ∈ {10⁴, 10⁶} on every
+available compute-kernel backend, recorded per commit into
+``benchmarks/results/history/`` so backend regressions leave a trace.
+With numba installed the counts kernel must deliver ≥ 3× the numpy
+backend at n = 10⁶ (trajectories are bit-identical either way — the
+cross-backend suite in ``tests/test_kernels.py`` enforces that).
 """
+
+import time
 
 import numpy as np
 from _common import run_and_record
+from history import record_benchmark
 
 from repro import AgentEngine, BatchEngine, CountsEngine
+from repro.core.kernels import available_backends
 from repro.protocols import UndecidedStateDynamics
+from repro.theory.bounds import paper_k_schedule
 from repro.workloads import paper_initial_configuration
 
 
@@ -62,3 +73,77 @@ def test_batch_engine_epsilon_ablation(benchmark):
         _stepper(BatchEngine, 100_000, 11, 1_000_000, epsilon=0.0005)
     )
     assert counts.sum() == 100_000
+
+
+# ----------------------------------------------------------------------
+# Per-backend kernel throughput (counts + batch, n ∈ {10⁴, 10⁶})
+# ----------------------------------------------------------------------
+
+#: (population, counts-engine interaction budget, batch budget).  The
+#: paper's Figure 1 regime is the n = 10⁶ row (k from the paper's
+#: schedule ≈ 28, ~9·10⁷ interactions end to end).
+BACKEND_SIZES = (
+    (10_000, 300_000, 2_000_000),
+    (1_000_000, 1_000_000, 20_000_000),
+)
+
+
+def _measure(engine_cls, n, interactions, backend, **kwargs):
+    """Interactions/second of one warmed engine (JIT compiled outside)."""
+    k = paper_k_schedule(n)
+    protocol = UndecidedStateDynamics(k=k)
+    counts = protocol.encode_configuration(paper_initial_configuration(n, k))
+    # warm-up: triggers numba compilation so it is not billed to the run
+    warm = engine_cls(protocol, counts, seed=1, backend=backend, **kwargs)
+    warm.step(max(1, interactions // 100))
+    engine = engine_cls(protocol, counts, seed=7, backend=backend, **kwargs)
+    started = time.perf_counter()
+    engine.step(interactions)
+    elapsed = time.perf_counter() - started
+    assert engine.counts.sum() == n
+    return interactions / max(elapsed, 1e-9)
+
+
+def test_backend_throughput(benchmark):
+    from repro.core.kernels import get_backend
+
+    backends = available_backends()
+    numpy_batch_step = get_backend("numpy").batch_step
+
+    def run():
+        metrics = {"backends": list(backends)}
+        for n, counts_budget, batch_budget in BACKEND_SIZES:
+            for backend in backends:
+                metrics[f"counts_{backend}_n{n}"] = _measure(
+                    CountsEngine, n, counts_budget, backend
+                )
+                if get_backend(backend).batch_step is numpy_batch_step:
+                    # the backend delegates its batch kernel to numpy
+                    # (e.g. numba: binomial/multinomial are not JIT-able)
+                    # — re-measuring the identical function would double
+                    # the dominant cost for a tautological number
+                    if backend != "numpy":
+                        metrics[f"batch_{backend}_n{n}"] = "delegates-to-numpy"
+                        continue
+                metrics[f"batch_{backend}_n{n}"] = _measure(
+                    BatchEngine, n, batch_budget, backend
+                )
+        return metrics
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_benchmark("engine-backend-throughput", metrics)
+    print()
+    for key, value in metrics.items():
+        if key != "backends":
+            print(
+                f"{key}: {value}"
+                if isinstance(value, str)
+                else f"{key}: {value:,.0f} interactions/s"
+            )
+    if "numba" in backends:
+        speedup = metrics["counts_numba_n1000000"] / metrics["counts_numpy_n1000000"]
+        print(f"counts-engine numba speedup at n=10⁶: {speedup:.2f}x")
+        assert speedup >= 3.0, (
+            f"numba counts kernel must be >= 3x numpy at n = 10^6, "
+            f"got {speedup:.2f}x"
+        )

@@ -73,6 +73,7 @@ Choosing engine and workers
 
 from .core import (
     AgentEngine,
+    AsyncTrajectoryRecorder,
     BatchEngine,
     Configuration,
     CountsEngine,
@@ -84,6 +85,9 @@ from .core import (
     TrajectoryRecorder,
     TransitionTable,
     UniformPairScheduler,
+    available_backends,
+    default_backend,
+    get_backend,
     make_engine,
     simulate,
     stopping,
@@ -125,6 +129,7 @@ __all__ = [
     "__version__",
     # core
     "AgentEngine",
+    "AsyncTrajectoryRecorder",
     "BatchEngine",
     "Configuration",
     "CountsEngine",
@@ -136,6 +141,9 @@ __all__ = [
     "TrajectoryRecorder",
     "TransitionTable",
     "UniformPairScheduler",
+    "available_backends",
+    "default_backend",
+    "get_backend",
     "make_engine",
     "simulate",
     "stopping",

@@ -1,6 +1,12 @@
 """Analysis: ensemble statistics, trajectory post-processing, scaling fits."""
 
-from .ensembles import EnsembleBand, align_series, ensemble_band, trace_quantity
+from .ensembles import (
+    EnsembleBand,
+    align_series,
+    ensemble_band,
+    ensemble_band_from_series,
+    trace_quantity,
+)
 from .scaling import (
     CANDIDATE_LAWS,
     ScalingComparison,
@@ -47,6 +53,7 @@ __all__ = [
     "compare_scaling_laws",
     "doubling_time",
     "ensemble_band",
+    "ensemble_band_from_series",
     "trace_quantity",
     "fit_linear",
     "fit_proportional",

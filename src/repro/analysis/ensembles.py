@@ -23,7 +23,13 @@ import numpy as np
 from ..core.recorder import Trace
 from ..errors import ExperimentError
 
-__all__ = ["EnsembleBand", "align_series", "ensemble_band", "trace_quantity"]
+__all__ = [
+    "EnsembleBand",
+    "align_series",
+    "ensemble_band",
+    "ensemble_band_from_series",
+    "trace_quantity",
+]
 
 #: Extractors for the standard Figure-1 quantities.
 _QUANTITIES: Dict[str, Callable[[Trace], np.ndarray]] = {
@@ -98,6 +104,43 @@ class EnsembleBand:
         return float((self.upper - self.lower).max())
 
 
+def ensemble_band_from_series(
+    series: Sequence[Sequence[Sequence[float]]],
+    *,
+    grid_points: int = 200,
+    quantile: float = 0.1,
+) -> EnsembleBand:
+    """Aggregate raw ``(times, values)`` pairs into a mean ± quantile band.
+
+    The series-level core of :func:`ensemble_band`, for callers whose
+    trajectories are no longer :class:`~repro.core.recorder.Trace`
+    objects (e.g. sweep-checkpoint rows holding downsampled polylines).
+    The grid spans [0, max last time across runs]; outside a run's own
+    time range its boundary value is held, matching
+    :func:`align_series`'s absorbed-run semantics.
+    """
+    if not series:
+        raise ExperimentError("need at least one series to aggregate")
+    if not 0 <= quantile < 0.5:
+        raise ExperimentError(f"quantile must be in [0, 0.5), got {quantile}")
+    if grid_points < 2:
+        raise ExperimentError(f"need at least 2 grid points, got {grid_points}")
+    pairs = [
+        (np.asarray(times, dtype=float), np.asarray(values, dtype=float))
+        for times, values in series
+    ]
+    horizon = max(float(times[-1]) for times, _ in pairs)
+    grid = np.linspace(0.0, horizon, grid_points)
+    matrix = np.vstack([np.interp(grid, times, values) for times, values in pairs])
+    return EnsembleBand(
+        grid=grid,
+        mean=matrix.mean(axis=0),
+        lower=np.quantile(matrix, quantile, axis=0),
+        upper=np.quantile(matrix, 1.0 - quantile, axis=0),
+        runs=matrix.shape[0],
+    )
+
+
 def ensemble_band(
     traces: Sequence[Trace],
     quantity: str,
@@ -111,17 +154,13 @@ def ensemble_band(
     band runs from the ``quantile`` to the ``1 − quantile`` ensemble
     quantile at each grid point.
     """
-    if not 0 <= quantile < 0.5:
-        raise ExperimentError(f"quantile must be in [0, 0.5), got {quantile}")
-    if grid_points < 2:
-        raise ExperimentError(f"need at least 2 grid points, got {grid_points}")
-    horizon = max(float(trace.parallel_times[-1]) for trace in traces)
-    grid = np.linspace(0.0, horizon, grid_points)
-    matrix = align_series(traces, quantity, grid)
-    return EnsembleBand(
-        grid=grid,
-        mean=matrix.mean(axis=0),
-        lower=np.quantile(matrix, quantile, axis=0),
-        upper=np.quantile(matrix, 1.0 - quantile, axis=0),
-        runs=matrix.shape[0],
+    if not traces:
+        raise ExperimentError("need at least one trace to align")
+    return ensemble_band_from_series(
+        [
+            (trace.parallel_times, trace_quantity(trace, quantity))
+            for trace in traces
+        ],
+        grid_points=grid_points,
+        quantile=quantile,
     )

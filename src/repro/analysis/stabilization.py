@@ -109,6 +109,7 @@ def _stabilization_task(
     *,
     initial: Configuration,
     engine: str,
+    backend: Optional[str],
     max_parallel_time: float,
     snapshot_every: Optional[int],
 ) -> Optional[Tuple[float, int]]:
@@ -122,6 +123,7 @@ def _stabilization_task(
         protocol,
         initial,
         engine=engine,
+        backend=backend,
         seed=run_seed,
         max_parallel_time=max_parallel_time,
         snapshot_every=snapshot_every,
@@ -138,6 +140,7 @@ def usd_stabilization_ensemble(
     num_seeds: int = 10,
     seed: SeedLike = 0,
     engine: str = "auto",
+    backend: Optional[str] = None,
     max_parallel_time: float = 10_000.0,
     snapshot_every: Optional[int] = None,
     workers: Optional[int] = 0,
@@ -158,6 +161,7 @@ def usd_stabilization_ensemble(
         _stabilization_task,
         initial=initial,
         engine=engine,
+        backend=backend,
         max_parallel_time=max_parallel_time,
         snapshot_every=snapshot_every,
     )
@@ -173,6 +177,7 @@ def usd_stabilization_ensemble(
         "k": initial.k,
         "bias": initial.bias(),
         "engine": engine,
+        "backend": backend,
         "num_seeds": num_seeds,
         "root_seed": seed if isinstance(seed, int) else None,
         "workers": workers,

@@ -4,10 +4,14 @@ Subcommands
 -----------
 ``repro list``
     Show every registered experiment id with its title.
-``repro run <id> [--set name=value ...] [--out DIR] [--no-plots] [--workers N]``
+``repro run <id> [--set name=value ...] [--out DIR] [--no-plots] [--workers N] [--backend B]``
     Run one experiment (or ``all``) and print its report; optionally
     persist rows/series under ``--out``.  ``--workers`` fans ensemble
-    experiments out over N processes (bit-identical results either way).
+    experiments out over N processes and ``--backend`` picks the
+    compute-kernel backend (bit-identical results either way).
+``repro backends``
+    List the registered compute-kernel backends, their availability on
+    this machine and the default.
 ``repro fig1 [--full] [--panel left|right]``
     Shortcut for the Figure 1 reproduction (``--full`` uses the paper's
     n = 10⁶ instead of the default 10⁵).
@@ -82,6 +86,20 @@ def build_parser() -> argparse.ArgumentParser:
             "for every worker count)"
         ),
     )
+    run.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help=(
+            "compute-kernel backend for the simulation engines "
+            "('numpy', 'numba', ...; see 'repro backends'); results are "
+            "bit-identical for every backend"
+        ),
+    )
+
+    commands.add_parser(
+        "backends", help="list compute-kernel backends and their availability"
+    )
 
     fig1 = commands.add_parser("fig1", help="reproduce Figure 1")
     fig1.add_argument(
@@ -146,6 +164,15 @@ def build_parser() -> argparse.ArgumentParser:
                     "the default; results are bit-identical regardless)"
                 ),
             )
+            sub.add_argument(
+                "--backend",
+                default=None,
+                metavar="NAME",
+                help=(
+                    "compute-kernel backend the grid points run on "
+                    "(bit-identical for every backend; see 'repro backends')"
+                ),
+            )
 
     certify = commands.add_parser(
         "certify",
@@ -199,12 +226,35 @@ def _sweep_experiment_class(experiment_id: str):
 
     experiment_cls = get_experiment(experiment_id)
     if not issubclass(experiment_cls, SweepExperiment):
+        sweep_ids = sorted(
+            experiment_id_
+            for experiment_id_, cls in EXPERIMENTS.items()
+            if issubclass(cls, SweepExperiment)
+        )
         raise ReproError(
             f"experiment {experiment_id!r} is not a sweep experiment; "
             "sweep subcommands apply to grid sweeps only "
-            "(thm35-scaling, bias-threshold, usd2-logn)"
+            f"({', '.join(sweep_ids)})"
         )
     return experiment_cls
+
+
+def _print_backends() -> None:
+    from .core.kernels import (
+        backend_fallback_reason,
+        default_backend,
+        registered_backends,
+    )
+
+    for name in registered_backends():
+        reason = backend_fallback_reason(name)
+        status = "available" if reason is None else f"unavailable: {reason}"
+        marker = "  (default)" if name == default_backend() else ""
+        print(f"{name:<8} {status}{marker}")
+    print(
+        "backends are bit-identical — selection (--backend) only changes "
+        "throughput"
+    )
 
 
 def _run_sweep_command(args: Any) -> None:
@@ -218,6 +268,8 @@ def _run_sweep_command(args: Any) -> None:
         overrides["out"] = args.out
         if args.workers is not None:
             overrides["workers"] = args.workers
+        if args.backend is not None:
+            overrides["backend"] = args.backend
         result = experiment_cls(**overrides).run()
         if result.rows:
             print(render_result(result, plots=False))
@@ -287,10 +339,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "list":
             for line in list_experiments():
                 print(line)
+        elif args.command == "backends":
+            _print_backends()
         elif args.command == "run":
             overrides = parse_overrides(args.overrides)
             if args.workers is not None:
                 overrides["workers"] = args.workers
+            if args.backend is not None:
+                overrides["backend"] = args.backend
             if args.experiment_id == "all":
                 for experiment_id in sorted(EXPERIMENTS):
                     print(f"=== {experiment_id} ===")

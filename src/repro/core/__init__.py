@@ -1,21 +1,25 @@
 """Core execution substrate: configurations, protocols, engines, runs."""
 
 from .agent_engine import AgentEngine
+from .async_recorder import AsyncTrajectoryRecorder
 from .batch_engine import BatchEngine
 from .configuration import Configuration
 from .counts_engine import CountsEngine
 from .engine import BaseEngine
+from .kernels import KernelInputs, available_backends, default_backend, get_backend
 from .protocol import OpinionProtocol, PopulationProtocol
 from .recorder import Trace, TrajectoryRecorder
 from .run import AUTO_ENGINE_COUNTS_LIMIT, RunResult, make_engine, simulate
 from .scheduler import GraphPairScheduler, PairScheduler, UniformPairScheduler
 from .transitions import TransitionTable
-from . import stopping
+from . import kernels, stopping
 
 __all__ = [
     "AgentEngine",
+    "AsyncTrajectoryRecorder",
     "BatchEngine",
     "BaseEngine",
+    "KernelInputs",
     "Configuration",
     "CountsEngine",
     "GraphPairScheduler",
@@ -28,6 +32,10 @@ __all__ = [
     "TransitionTable",
     "UniformPairScheduler",
     "AUTO_ENGINE_COUNTS_LIMIT",
+    "available_backends",
+    "default_backend",
+    "get_backend",
+    "kernels",
     "make_engine",
     "simulate",
     "stopping",

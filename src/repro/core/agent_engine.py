@@ -34,8 +34,12 @@ class AgentEngine(BaseEngine):
 
     Parameters
     ----------
-    protocol, counts, seed:
-        As for :class:`repro.core.engine.BaseEngine`.
+    protocol, counts, seed, backend:
+        As for :class:`repro.core.engine.BaseEngine`.  The ``backend``
+        is accepted for API uniformity but unused (``uses_kernels`` is
+        ``False``, so it is never even resolved): the per-agent loop is
+        the reference implementation and deliberately stays in plain
+        Python.
     scheduler:
         Pair scheduler; defaults to the paper's uniform clique
         scheduler.  Graph-restricted runs pass a
@@ -43,6 +47,7 @@ class AgentEngine(BaseEngine):
     """
 
     engine_name = "agent"
+    uses_kernels = False
 
     def __init__(
         self,
@@ -50,8 +55,9 @@ class AgentEngine(BaseEngine):
         counts: np.ndarray,
         seed: SeedLike = None,
         scheduler: Optional[PairScheduler] = None,
+        backend: Optional[str] = None,
     ):
-        super().__init__(protocol, counts, seed)
+        super().__init__(protocol, counts, seed, backend=backend)
         if scheduler is None:
             scheduler = UniformPairScheduler(self._n)
         if scheduler.n != self._n:

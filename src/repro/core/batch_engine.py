@@ -21,15 +21,22 @@ delta would drive a count negative is rejected and retried with half
 the batch size (never biasing the sign of the drift by clamping);
 ``B = 1`` reproduces the exact single-interaction distribution, so the
 retry loop always terminates.
+
+The sampling loop itself lives in :mod:`repro.core.kernels` as the
+backend's ``batch_step`` kernel; the engine owns only state (counts,
+interaction clock, the adaptive batch size) and bookkeeping.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
-from ..errors import BatchSizeError, SimulationError
+from ..errors import SimulationError
 from ..types import SeedLike
 from .engine import BaseEngine
+from .kernels import KernelInputs
 from .protocol import PopulationProtocol
 
 __all__ = ["BatchEngine"]
@@ -43,7 +50,7 @@ class BatchEngine(BaseEngine):
 
     Parameters
     ----------
-    protocol, counts, seed:
+    protocol, counts, seed, backend:
         As for :class:`repro.core.engine.BaseEngine`.
     epsilon:
         Target batch size as a fraction of ``n``.  Smaller is more
@@ -59,21 +66,16 @@ class BatchEngine(BaseEngine):
         counts: np.ndarray,
         seed: SeedLike = None,
         epsilon: float = DEFAULT_EPSILON,
+        backend: Optional[str] = None,
     ):
-        super().__init__(protocol, counts, seed)
+        super().__init__(protocol, counts, seed, backend=backend)
         if not 0 < epsilon <= 1:
             raise SimulationError(f"epsilon must be in (0, 1], got {epsilon}")
         self._epsilon = float(epsilon)
         self._nominal_batch = max(1, int(round(epsilon * self._n)))
         self._batch = self._nominal_batch
-        table = self._table
-        pairs = table.effective_pairs
-        self._eff_a = np.array([a for a, _ in pairs], dtype=np.int64)
-        self._eff_b = np.array([b for _, b in pairs], dtype=np.int64)
-        self._eff_same = (self._eff_a == self._eff_b).astype(np.int64)
-        rows = self._eff_a * table.num_states + self._eff_b
-        self._eff_delta = table.delta_matrix[rows]  # E×S
-        self._pair_denominator = float(self._n) * float(self._n - 1)
+        self._halvings = 0
+        self._inputs = KernelInputs.from_table(self._table, self._n)
 
     @property
     def epsilon(self) -> float:
@@ -85,53 +87,35 @@ class BatchEngine(BaseEngine):
         """Batch size used when no rejections force it down."""
         return self._nominal_batch
 
-    def _step_impl(self, num: int) -> None:
-        remaining = num
-        rng = self._rng
-        while remaining > 0:
-            weights = self._counts[self._eff_a] * (
-                self._counts[self._eff_b] - self._eff_same
-            )
-            total = float(weights.sum())
-            if total == 0.0:
-                self._absorbed = True
-                self._interactions += remaining
-                return
-            p_effective = min(1.0, total / self._pair_denominator)
-            batch = min(self._batch, remaining)
-            applied = self._attempt_batch(rng, batch, weights, total, p_effective)
-            self._interactions += applied
-            remaining -= applied
-            # Recover towards the nominal batch size after successes so a
-            # one-off rejection near a small count does not slow the rest
-            # of the run.
-            if self._batch < self._nominal_batch:
-                self._batch = min(self._nominal_batch, self._batch * 2)
+    @property
+    def kernel_inputs(self) -> KernelInputs:
+        """The frozen per-run kernel inputs (shared by every step)."""
+        return self._inputs
 
-    def _attempt_batch(
-        self,
-        rng: np.random.Generator,
-        batch: int,
-        weights: np.ndarray,
-        total: float,
-        p_effective: float,
-    ) -> int:
-        """Sample one batch, halving on negativity rejection; return its size."""
-        probabilities = weights / total
-        while True:
-            if batch < 1:  # pragma: no cover - defensive; B=1 cannot reject
-                raise BatchSizeError("batch size collapsed below one interaction")
-            effective = int(rng.binomial(batch, p_effective))
-            if effective == 0:
-                return batch
-            pair_counts = rng.multinomial(effective, probabilities)
-            delta = pair_counts @ self._eff_delta
-            candidate = self._counts + delta
-            if np.any(candidate < 0):
-                batch = max(1, batch // 2)
-                self._batch = batch
-                continue
-            self._counts = candidate
-            if np.any(delta != 0):
-                self._last_change = self._interactions + batch
-            return batch
+    @property
+    def rejection_halvings(self) -> int:
+        """Total negativity rejections taken so far.
+
+        Each rejection halves the batch (the retry loop's accuracy
+        safeguard near small counts); a persistently large number means
+        ``epsilon`` is too aggressive for the configuration's regime.
+        """
+        return self._halvings
+
+    def _step_impl(self, num: int) -> None:
+        interactions, last_change, absorbed, batch, halvings = self._kernels.batch_step(
+            self._inputs,
+            self._counts,
+            self._rng,
+            num,
+            self._interactions,
+            self._batch,
+            self._nominal_batch,
+        )
+        self._interactions = interactions
+        self._batch = batch
+        self._halvings += halvings
+        if last_change is not None:
+            self._last_change = last_change
+        if absorbed:
+            self._absorbed = True

@@ -23,14 +23,22 @@ absorption, where almost every interaction is null.
 The engine also knows the exact interaction index of every change, so
 stabilization times are measured with single-interaction resolution,
 independent of the snapshot cadence.
+
+*How* a step is computed lives in :mod:`repro.core.kernels`: the engine
+builds one frozen :class:`~repro.core.kernels.KernelInputs` and
+delegates stepping to its backend's ``counts_step`` kernel — the NumPy
+reference or the Numba-JIT kernel, bit-identical either way.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 import numpy as np
 
 from ..types import SeedLike
 from .engine import BaseEngine
+from .kernels import KernelInputs
 from .protocol import PopulationProtocol
 
 __all__ = ["CountsEngine"]
@@ -46,56 +54,37 @@ class CountsEngine(BaseEngine):
         protocol: PopulationProtocol,
         counts: np.ndarray,
         seed: SeedLike = None,
+        backend: Optional[str] = None,
     ):
-        super().__init__(protocol, counts, seed)
-        table = self._table
-        pairs = table.effective_pairs
-        self._eff_a = np.array([a for a, _ in pairs], dtype=np.int64)
-        self._eff_b = np.array([b for _, b in pairs], dtype=np.int64)
-        self._eff_same = (self._eff_a == self._eff_b).astype(np.int64)
-        # Sparse per-pair deltas: (states, changes) arrays per effective pair.
-        self._eff_deltas = []
-        for a, b in pairs:
-            row = table.delta_matrix[a * table.num_states + b]
-            touched = np.flatnonzero(row)
-            self._eff_deltas.append((touched, row[touched]))
-        self._pair_denominator = float(self._n) * float(self._n - 1)
+        super().__init__(protocol, counts, seed, backend=backend)
+        self._inputs = KernelInputs.from_table(self._table, self._n)
+
+    @property
+    def kernel_inputs(self) -> KernelInputs:
+        """The frozen per-run kernel inputs (shared by every step)."""
+        return self._inputs
 
     def _effective_weights(self) -> np.ndarray:
         """Weight ``c_a (c_b - [a = b])`` of each effective ordered pair."""
+        inputs = self._inputs
         counts = self._counts
-        return counts[self._eff_a] * (counts[self._eff_b] - self._eff_same)
+        return counts[inputs.eff_a] * (counts[inputs.eff_b] - inputs.eff_same)
 
     def effective_probability(self) -> float:
         """Probability that the *next* interaction changes the configuration."""
         weights = self._effective_weights()
-        return float(weights.sum()) / self._pair_denominator
+        return float(weights.sum()) / self._inputs.pair_denominator
 
     def _step_impl(self, num: int) -> None:
-        target = self._interactions + num
-        rng = self._rng
-        while self._interactions < target:
-            weights = self._effective_weights()
-            total = int(weights.sum())
-            if total == 0:
-                # Every remaining interaction is null: the configuration
-                # is absorbing and time just rolls forward.
-                self._absorbed = True
-                self._interactions = target
-                return
-            p_effective = total / self._pair_denominator
-            gap = int(rng.geometric(p_effective))
-            if self._interactions + gap > target:
-                # No effective interaction inside this step() call; by
-                # memorylessness of the geometric the truncation is exact.
-                self._interactions = target
-                return
-            self._interactions += gap
-            pick = int(
-                np.searchsorted(
-                    np.cumsum(weights), rng.integers(0, total), side="right"
-                )
-            )
-            touched, changes = self._eff_deltas[pick]
-            self._counts[touched] += changes
-            self._last_change = self._interactions
+        interactions, last_change, absorbed = self._kernels.counts_step(
+            self._inputs,
+            self._counts,
+            self._rng,
+            self._interactions,
+            self._interactions + num,
+        )
+        self._interactions = interactions
+        if last_change is not None:
+            self._last_change = last_change
+        if absorbed:
+            self._absorbed = True

@@ -27,6 +27,7 @@ from ..errors import SimulationError
 from ..rng import make_rng
 from ..types import SeedLike, StopPredicate, as_int_vector
 from .configuration import Configuration
+from .kernels import get_backend
 from .protocol import PopulationProtocol
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -49,16 +50,29 @@ class BaseEngine(abc.ABC):
         :class:`Configuration` first.
     seed:
         Seed for the engine's private random stream.
+    backend:
+        Compute-kernel backend name (see :mod:`repro.core.kernels`);
+        ``None``/``'auto'`` resolve to the default.  Backends are
+        bit-identical by contract, so this is a pure throughput knob.
+        Engines that do not delegate to kernels (the per-agent
+        reference engine) accept and ignore it.
     """
 
     #: Engine identifier used in results and the CLI.
     engine_name: str = "base"
+
+    #: Whether this engine delegates stepping to compute kernels.  The
+    #: per-agent reference engine sets this to ``False``: it then never
+    #: resolves a backend (so requesting ``'numba'`` costs nothing and
+    #: warns nothing there) and reports ``backend = None``.
+    uses_kernels: bool = True
 
     def __init__(
         self,
         protocol: PopulationProtocol,
         counts: np.ndarray,
         seed: SeedLike = None,
+        backend: Optional[str] = None,
     ):
         vec = as_int_vector(counts)
         if vec.size != protocol.num_states:
@@ -75,6 +89,7 @@ class BaseEngine(abc.ABC):
         self._table = protocol.table
         self._counts = vec
         self._n = n
+        self._kernels = get_backend(backend) if self.uses_kernels else None
         self._rng = make_rng(seed)
         self._interactions = 0
         self._last_change: Optional[int] = None
@@ -134,6 +149,17 @@ class BaseEngine(abc.ABC):
     def rng(self) -> np.random.Generator:
         """The engine's random stream (exposed for reproducibility tooling)."""
         return self._rng
+
+    @property
+    def backend(self) -> Optional[str]:
+        """Name of the resolved compute-kernel backend.
+
+        This is the backend actually in use: requesting an unavailable
+        backend falls back to the default (with a one-time warning), and
+        the fallback's name is reported here.  ``None`` for engines
+        that do not delegate to kernels (``uses_kernels = False``).
+        """
+        return None if self._kernels is None else self._kernels.name
 
     def as_configuration(self) -> Configuration:
         """Decode current counts into an opinion-level configuration.

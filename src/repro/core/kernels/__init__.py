@@ -1,0 +1,43 @@
+"""Pluggable compute-kernel backends for the simulation engines.
+
+*How a step is computed* lives here; *engine classes* own only state,
+bookkeeping and the run contract.  An engine builds one frozen
+:class:`KernelInputs` from its transition table and delegates its hot
+loops to the :class:`~repro.core.kernels.registry.KernelBackend`
+resolved from its ``backend`` parameter:
+
+* ``'numpy'`` — the reference kernels, a pure extraction of the
+  original engine loops (always available, the default);
+* ``'numba'`` — a ``@njit``-compiled counts kernel drawing from the
+  same ``np.random.Generator`` (optional; falls back to numpy with a
+  one-time warning when the package is missing).
+
+Backends are bit-identical by contract — the trajectory of a seeded run
+does not depend on the backend, so ``backend`` is a pure throughput
+knob (see ``tests/test_kernels.py``).  Future backends (Cython, GPU)
+register through :func:`register_backend` behind the same seam.
+"""
+
+from .inputs import KernelInputs
+from .registry import (
+    KernelBackend,
+    available_backends,
+    backend_fallback_reason,
+    default_backend,
+    get_backend,
+    register_backend,
+    registered_backends,
+    reset_backend_state,
+)
+
+__all__ = [
+    "KernelBackend",
+    "KernelInputs",
+    "available_backends",
+    "backend_fallback_reason",
+    "default_backend",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
+    "reset_backend_state",
+]

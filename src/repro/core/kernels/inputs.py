@@ -1,0 +1,83 @@
+"""The frozen per-engine kernel input struct.
+
+A :class:`KernelInputs` is everything a compute kernel needs to know
+about a protocol/population pair that does *not* change during a run:
+the effective ordered pairs (as flat ``int64`` arrays), the dense
+per-pair delta matrix, and the ``n (n - 1)`` pair denominator.  Engines
+build it once in their constructor and hand it to every kernel call, so
+kernels stay stateless and a compiled backend can specialise on plain
+arrays instead of protocol objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KernelInputs"]
+
+
+@dataclass(frozen=True)
+class KernelInputs:
+    """Immutable inputs shared by every kernel call of one engine.
+
+    Attributes
+    ----------
+    eff_a, eff_b:
+        Initiator/responder states of the effective ordered pairs,
+        shape ``(E,)`` ``int64``.
+    eff_same:
+        ``1`` where ``eff_a == eff_b`` else ``0`` (the ``[a = b]``
+        correction in the pair weight ``c_a (c_b - [a = b])``).
+    eff_delta:
+        Dense net count change of each effective pair, shape ``(E, S)``
+        ``int64``.
+    pair_denominator:
+        ``n (n - 1)`` as a float — the ordered-pair count.
+    num_states:
+        Alphabet size ``S``.
+    n:
+        Population size.
+    """
+
+    eff_a: np.ndarray
+    eff_b: np.ndarray
+    eff_same: np.ndarray
+    eff_delta: np.ndarray
+    pair_denominator: float
+    num_states: int
+    n: int
+
+    def __post_init__(self) -> None:
+        for name in ("eff_a", "eff_b", "eff_same", "eff_delta"):
+            # always copy before freezing: ascontiguousarray would alias
+            # an already-contiguous input and setflags would then make
+            # the *caller's* array read-only behind their back
+            array = np.array(getattr(self, name), dtype=np.int64, order="C")
+            array.setflags(write=False)
+            object.__setattr__(self, name, array)
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of effective ordered pairs ``E``."""
+        return int(self.eff_a.shape[0])
+
+    @classmethod
+    def from_table(cls, table, n: int) -> "KernelInputs":
+        """Build the struct from a compiled transition table and ``n``."""
+        pairs = table.effective_pairs
+        eff_a = np.array([a for a, _ in pairs], dtype=np.int64)
+        eff_b = np.array([b for _, b in pairs], dtype=np.int64)
+        eff_same = (eff_a == eff_b).astype(np.int64)
+        rows = eff_a * table.num_states + eff_b
+        eff_delta = table.delta_matrix[rows]
+        return cls(
+            eff_a=eff_a,
+            eff_b=eff_b,
+            eff_same=eff_same,
+            eff_delta=eff_delta,
+            pair_denominator=float(n) * float(n - 1),
+            num_states=int(table.num_states),
+            n=int(n),
+        )

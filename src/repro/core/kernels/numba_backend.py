@@ -1,0 +1,246 @@
+"""Optional Numba-JIT backend for the counts kernel.
+
+Compiles the geometric null-skipping loop with ``@numba.njit`` while
+drawing from the *same* ``np.random.Generator`` the engine owns (Numba
+operates directly on the generator's bit-generator state and implements
+NumPy's exact ``geometric``/``integers`` algorithms), so the compiled
+kernel consumes the random stream in the same order as the NumPy
+reference and trajectories stay bit-identical across backends.
+
+Two deliberate safety properties:
+
+* **Guarded load.** Importing or compiling Numba can fail (package
+  missing, unsupported version).  :func:`load` never raises — it
+  returns ``(backend, None)`` on success or ``(None, reason)`` on any
+  failure, and the registry falls back to the NumPy backend with a
+  one-time warning.
+* **Bit-identity self-check.** Before the backend is accepted, the
+  compiled counts kernel is run against the NumPy reference on a small
+  synthetic three-state system from identical generator states; the
+  trajectories *and the post-run bit-generator states* must match
+  exactly.  A Numba version whose draw algorithms ever diverge from
+  NumPy's is therefore rejected at load time instead of silently
+  producing different trajectories.
+
+The τ-leaping batch kernel is shared with the NumPy backend: its hot
+path is a handful of vectorised draws per batch (``binomial`` /
+``multinomial``, which Numba's ``Generator`` support does not cover),
+so there is no per-interaction Python overhead for a JIT to remove and
+delegation keeps the draw sequence trivially identical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import numpy_backend
+from .inputs import KernelInputs
+
+__all__ = ["load"]
+
+#: Registry name of this backend.
+NAME = "numba"
+
+_SELF_CHECK_SEED = 20250728
+
+
+def _counts_step_scalar(
+    eff_a, eff_b, eff_same, eff_delta, pair_denominator, counts, rng, start, target
+):
+    """The counts kernel in scalar (nopython-compilable) form.
+
+    Plain Python — ``load`` compiles it with ``numba.njit``, and the
+    test suite runs it uncompiled against the NumPy reference, so the
+    *algorithm's* draw-for-draw equivalence is verified even on
+    machines without numba.  It must consume the random stream exactly
+    like :func:`repro.core.kernels.numpy_backend.counts_step`: one
+    ``geometric`` per effective event, then one ``integers``.
+    """
+    interactions = start
+    last_change = np.int64(-1)
+    absorbed = False
+    num_pairs = eff_a.shape[0]
+    num_states = eff_delta.shape[1]
+    while interactions < target:
+        total = np.int64(0)
+        for e in range(num_pairs):
+            total += counts[eff_a[e]] * (counts[eff_b[e]] - eff_same[e])
+        if total == 0:
+            interactions = target
+            absorbed = True
+            break
+        p_effective = total / pair_denominator
+        gap = rng.geometric(p_effective)
+        if interactions + gap > target:
+            interactions = target
+            break
+        interactions += gap
+        # searchsorted(cumsum(w), r, side='right'): smallest e with
+        # cumsum[e] > r — computed as a linear scan (E is small).
+        r = rng.integers(0, total)
+        acc = np.int64(0)
+        pick = num_pairs - 1
+        for e in range(num_pairs):
+            acc += counts[eff_a[e]] * (counts[eff_b[e]] - eff_same[e])
+            if r < acc:
+                pick = e
+                break
+        for s in range(num_states):
+            counts[s] += eff_delta[pick, s]
+        last_change = interactions
+    return interactions, last_change, absorbed
+
+
+def _compile_counts_kernel():
+    """Compile the JIT counts kernel; raises when numba cannot deliver."""
+    import numba
+
+    # no cache=True: compilation happens once per process (during the
+    # self-check below), and an on-disk cache would tie the artifact to
+    # a mutable source file for little gain.
+    return numba.njit(_counts_step_scalar)
+
+
+def _wrap_counts_step(counts_step_jit):
+    """Adapt the JIT kernel to the backend-level kernel signature."""
+
+    def counts_step(
+        inputs: KernelInputs,
+        counts: np.ndarray,
+        rng: np.random.Generator,
+        start: int,
+        target: int,
+    ) -> Tuple[int, Optional[int], bool]:
+        interactions, last_change, absorbed = counts_step_jit(
+            inputs.eff_a,
+            inputs.eff_b,
+            inputs.eff_same,
+            inputs.eff_delta,
+            inputs.pair_denominator,
+            counts,
+            rng,
+            start,
+            target,
+        )
+        return (
+            int(interactions),
+            None if last_change < 0 else int(last_change),
+            bool(absorbed),
+        )
+
+    return counts_step
+
+
+def _self_check_scenarios():
+    """The systems the load-time self-check must reproduce exactly.
+
+    Hand-built so the kernels package never imports the protocol layer.
+    Two regimes, because NumPy's samplers switch algorithms with the
+    argument range and a divergence in either would break bit-identity:
+
+    * *small* — a 14-agent USD-like system ([⊥, x₁, x₂]: opposing
+      opinions blank the responder, an undecided initiator adopts);
+      large ``p_effective``, ``integers`` bounds far below 2³², many
+      events, absorption reached.
+    * *large* — the n = 10⁸ regime the backend exists for: only the
+      opposing-opinion pairs are effective, pair weights push the
+      ``integers`` bound past 2³² (the 64-bit bounded-sampling path)
+      and ``p_effective`` down to ~10⁻⁶ (the geometric's log path).
+    """
+    small = KernelInputs(
+        eff_a=np.array([1, 2, 0, 0], dtype=np.int64),
+        eff_b=np.array([2, 1, 1, 2], dtype=np.int64),
+        eff_same=np.zeros(4, dtype=np.int64),
+        eff_delta=np.array(
+            [[1, 0, -1], [1, -1, 0], [-1, 1, 0], [-1, 0, 1]], dtype=np.int64
+        ),
+        pair_denominator=float(14) * float(13),
+        num_states=3,
+        n=14,
+    )
+    n_large = 100_000_000
+    large = KernelInputs(
+        eff_a=np.array([1, 2], dtype=np.int64),
+        eff_b=np.array([2, 1], dtype=np.int64),
+        eff_same=np.zeros(2, dtype=np.int64),
+        eff_delta=np.array([[1, 0, -1], [1, -1, 0]], dtype=np.int64),
+        pair_denominator=float(n_large) * float(n_large - 1),
+        num_states=3,
+        n=n_large,
+    )
+    support = 70_000  # weight 2·(7·10⁴)² ≈ 9.8·10⁹ > 2³², p ≈ 10⁻⁶
+    return (
+        (small, np.array([4, 5, 5], dtype=np.int64), 512, 64),
+        (
+            large,
+            np.array(
+                [n_large - 2 * support, support, support], dtype=np.int64
+            ),
+            60_000_000,
+            20_000_000,
+        ),
+    )
+
+
+def _self_check(counts_step) -> Optional[str]:
+    """Run the candidate kernel against the NumPy reference.
+
+    Returns ``None`` when trajectories and post-run generator states
+    match exactly in every scenario, otherwise a human-readable
+    mismatch description.
+    """
+    for inputs, initial, target, chunk in _self_check_scenarios():
+        results, states, trajectories = [], [], []
+        for step_fn in (numpy_backend.counts_step, counts_step):
+            counts = initial.copy()
+            rng = np.random.Generator(np.random.PCG64(_SELF_CHECK_SEED))
+            snapshots = []
+            outcome = (0, None, False)
+            interactions = 0
+            # several shorter calls, so truncation/resume paths are
+            # checked too
+            while interactions < target and not outcome[2]:
+                outcome = step_fn(
+                    inputs, counts, rng, interactions, interactions + chunk
+                )
+                interactions = outcome[0]
+                snapshots.append(counts.copy())
+            results.append(outcome)
+            states.append(rng.bit_generator.state)
+            trajectories.append(snapshots)
+        scenario = f"n={inputs.n}"
+        if len(trajectories[0]) != len(trajectories[1]) or any(
+            not np.array_equal(a, b) for a, b in zip(*trajectories)
+        ):
+            return f"trajectories diverge from the numpy reference ({scenario})"
+        if results[0] != results[1]:
+            return (
+                f"step outcomes diverge ({results[0]} vs {results[1]}, "
+                f"{scenario})"
+            )
+        if states[0] != states[1]:
+            return f"random streams diverge from the numpy reference ({scenario})"
+    return None
+
+
+def load():
+    """Try to build the numba backend.
+
+    Returns ``(backend_dict, None)`` on success or ``(None, reason)``
+    when numba is missing, fails to compile, or fails the bit-identity
+    self-check.  Never raises.
+    """
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return None, "the 'numba' package is not installed"
+    try:
+        counts_step = _wrap_counts_step(_compile_counts_kernel())
+        mismatch = _self_check(counts_step)
+    except Exception as error:  # compilation/typing failures included
+        return None, f"numba kernel compilation failed ({error})"
+    if mismatch is not None:
+        return None, f"numba kernel failed the bit-identity self-check: {mismatch}"
+    return {"counts_step": counts_step, "batch_step": numpy_backend.batch_step}, None

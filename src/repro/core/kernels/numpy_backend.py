@@ -1,0 +1,136 @@
+"""Reference NumPy kernels — the extracted engine hot loops.
+
+These functions are pure extractions of the pre-kernel
+``CountsEngine._step_impl`` (geometric null-skipping) and
+``BatchEngine._step_impl``/``_attempt_batch`` (binomial/multinomial
+τ-leaping with rejection halving): they consume the random stream in
+exactly the same order and apply exactly the same integer updates, so
+trajectories are bit-identical to the pre-refactor engines by
+construction.  Every other backend must reproduce this draw sequence —
+:mod:`repro.core.kernels.numba_backend` proves it does with a
+self-check at load time.
+
+Kernels are stateless: all run state lives in the engine and travels
+through the arguments/returns.  ``counts`` is mutated in place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ...errors import BatchSizeError
+from .inputs import KernelInputs
+
+__all__ = ["counts_step", "batch_step"]
+
+#: Registry name of this backend.
+NAME = "numpy"
+
+
+def counts_step(
+    inputs: KernelInputs,
+    counts: np.ndarray,
+    rng: np.random.Generator,
+    start: int,
+    target: int,
+) -> Tuple[int, Optional[int], bool]:
+    """Advance the exact counts dynamics from ``start`` to ``target``.
+
+    Returns ``(interactions, last_change, absorbed)`` where
+    ``last_change`` is the interaction index of the latest configuration
+    change *within this call* (``None`` if nothing changed) and
+    ``absorbed`` reports whether the configuration can never change
+    again.  ``counts`` is updated in place.
+    """
+    interactions = start
+    last_change: Optional[int] = None
+    eff_a, eff_b = inputs.eff_a, inputs.eff_b
+    eff_same, eff_delta = inputs.eff_same, inputs.eff_delta
+    while interactions < target:
+        weights = counts[eff_a] * (counts[eff_b] - eff_same)
+        total = int(weights.sum())
+        if total == 0:
+            # Every remaining interaction is null: the configuration is
+            # absorbing and time just rolls forward.
+            return target, last_change, True
+        p_effective = total / inputs.pair_denominator
+        gap = int(rng.geometric(p_effective))
+        if interactions + gap > target:
+            # No effective interaction inside this call; by memorylessness
+            # of the geometric the truncation is exact.
+            return target, last_change, False
+        interactions += gap
+        pick = int(
+            np.searchsorted(
+                np.cumsum(weights), rng.integers(0, total), side="right"
+            )
+        )
+        counts += eff_delta[pick]
+        last_change = interactions
+    return interactions, last_change, False
+
+
+def batch_step(
+    inputs: KernelInputs,
+    counts: np.ndarray,
+    rng: np.random.Generator,
+    num: int,
+    start: int,
+    batch: int,
+    nominal_batch: int,
+) -> Tuple[int, Optional[int], bool, int, int]:
+    """Advance the τ-leaping dynamics by ``num`` interactions.
+
+    ``batch`` is the engine's persistent current batch size (it shrinks
+    on negativity rejections and recovers towards ``nominal_batch``
+    after successes); the updated value is returned so the engine can
+    carry it across calls.  Returns ``(interactions, last_change,
+    absorbed, batch, halvings)`` where ``halvings`` counts the
+    negativity rejections taken during this call; ``counts`` is updated
+    in place.
+    """
+    interactions = start
+    last_change: Optional[int] = None
+    remaining = num
+    halvings = 0
+    while remaining > 0:
+        weights = counts[inputs.eff_a] * (counts[inputs.eff_b] - inputs.eff_same)
+        total = float(weights.sum())
+        if total == 0.0:
+            return interactions + remaining, last_change, True, batch, halvings
+        p_effective = min(1.0, total / inputs.pair_denominator)
+        attempt = min(batch, remaining)
+        # Sample one batch, halving on negativity rejection (never
+        # clamping, which would bias the drift's sign); B = 1 reproduces
+        # the exact single-interaction distribution, so this terminates.
+        probabilities = weights / total
+        while True:
+            if attempt < 1:  # pragma: no cover - defensive; B=1 cannot reject
+                raise BatchSizeError("batch size collapsed below one interaction")
+            effective = int(rng.binomial(attempt, p_effective))
+            if effective == 0:
+                applied = attempt
+                break
+            pair_counts = rng.multinomial(effective, probabilities)
+            delta = pair_counts @ inputs.eff_delta
+            candidate = counts + delta
+            if np.any(candidate < 0):
+                attempt = max(1, attempt // 2)
+                batch = attempt
+                halvings += 1
+                continue
+            counts[:] = candidate
+            if np.any(delta != 0):
+                last_change = interactions + attempt
+            applied = attempt
+            break
+        interactions += applied
+        remaining -= applied
+        # Recover towards the nominal batch size after successes so a
+        # one-off rejection near a small count does not slow the rest of
+        # the run.
+        if batch < nominal_batch:
+            batch = min(nominal_batch, batch * 2)
+    return interactions, last_change, False, batch, halvings

@@ -1,0 +1,201 @@
+"""Backend registry: named, pluggable compute kernels.
+
+A :class:`KernelBackend` bundles the two hot-loop kernels the engines
+delegate to — ``counts_step`` (exact geometric null-skipping) and
+``batch_step`` (τ-leaping) — under a name.  :func:`get_backend`
+resolves a requested name (or ``None``/``'auto'`` for the default)
+into a backend, falling back to the NumPy reference with a one-time
+warning when an optional backend cannot deliver; simulation therefore
+*never* fails because an accelerator is missing.
+
+All backends are bit-identical by contract: they consume the engine's
+random stream in the same order and apply the same integer updates, so
+``backend`` is a pure throughput knob — exactly like ``workers`` and
+``shard`` one layer up.  New backends (Cython, GPU) plug in behind the
+same seam via :func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ...errors import SimulationError
+from . import numba_backend, numpy_backend
+
+__all__ = [
+    "KernelBackend",
+    "available_backends",
+    "backend_fallback_reason",
+    "default_backend",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
+    "reset_backend_state",
+]
+
+#: Names accepted as "use the default backend".
+_DEFAULT_ALIASES = (None, "auto", "default")
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One named kernel implementation.
+
+    Attributes
+    ----------
+    name:
+        Registry name (``'numpy'``, ``'numba'``, ...).
+    counts_step:
+        ``(inputs, counts, rng, start, target) -> (interactions,
+        last_change, absorbed)`` — the exact counts kernel.
+    batch_step:
+        ``(inputs, counts, rng, num, start, batch, nominal_batch) ->
+        (interactions, last_change, absorbed, batch, halvings)`` — the
+        τ-leaping kernel.
+    description:
+        One line for ``repro backends``.
+    compiled:
+        Whether the backend runs machine-compiled kernels.
+    """
+
+    name: str
+    counts_step: Callable
+    batch_step: Callable
+    description: str = ""
+    compiled: bool = False
+
+
+#: Loader registry: name -> zero-argument callable returning
+#: ``(KernelBackend, None)`` or ``(None, unavailability_reason)``.
+_LOADERS: Dict[str, Callable[[], Tuple[Optional[KernelBackend], Optional[str]]]] = {}
+
+#: Resolved backends / failure reasons, cached after first load.
+_RESOLVED: Dict[str, Optional[KernelBackend]] = {}
+_REASONS: Dict[str, str] = {}
+
+#: Backend names already warned about, so fallback warns exactly once.
+_WARNED: set = set()
+
+
+def register_backend(
+    name: str,
+    loader: Callable[[], Tuple[Optional[KernelBackend], Optional[str]]],
+) -> None:
+    """Register a backend loader under ``name`` (last write wins)."""
+    _LOADERS[name] = loader
+    _RESOLVED.pop(name, None)
+    _REASONS.pop(name, None)
+    _WARNED.discard(name)
+
+
+def _load_numpy() -> Tuple[KernelBackend, None]:
+    return (
+        KernelBackend(
+            name="numpy",
+            counts_step=numpy_backend.counts_step,
+            batch_step=numpy_backend.batch_step,
+            description="pure-NumPy reference kernels (always available)",
+        ),
+        None,
+    )
+
+
+def _load_numba() -> Tuple[Optional[KernelBackend], Optional[str]]:
+    kernels, reason = numba_backend.load()
+    if kernels is None:
+        return None, reason
+    return (
+        KernelBackend(
+            name="numba",
+            counts_step=kernels["counts_step"],
+            batch_step=kernels["batch_step"],
+            description=(
+                "Numba-JIT counts kernel, bit-identical to numpy "
+                "(self-checked at load)"
+            ),
+            compiled=True,
+        ),
+        None,
+    )
+
+
+register_backend("numpy", _load_numpy)
+register_backend("numba", _load_numba)
+
+
+def _resolve(name: str) -> Optional[KernelBackend]:
+    """Load-and-cache the backend ``name``; ``None`` when unavailable."""
+    if name not in _RESOLVED:
+        backend, reason = _LOADERS[name]()
+        _RESOLVED[name] = backend
+        if backend is None:
+            _REASONS[name] = reason or "backend failed to load"
+    return _RESOLVED[name]
+
+
+def registered_backends() -> Tuple[str, ...]:
+    """All registered backend names, available or not."""
+    return tuple(_LOADERS)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The registered backends that can actually run on this machine."""
+    return tuple(name for name in _LOADERS if _resolve(name) is not None)
+
+
+def backend_fallback_reason(name: str) -> Optional[str]:
+    """Why ``name`` is unavailable, or ``None`` when it is usable."""
+    if name not in _LOADERS:
+        return f"backend {name!r} is not registered"
+    if _resolve(name) is None:
+        return _REASONS[name]
+    return None
+
+
+def default_backend() -> str:
+    """The backend used when none is requested.
+
+    Always the NumPy reference: accelerated backends are opt-in, so the
+    default behaviour is byte-identical whether or not their optional
+    dependencies are installed.
+    """
+    return "numpy"
+
+
+def get_backend(name: Optional[str] = None) -> KernelBackend:
+    """Resolve a backend name into a :class:`KernelBackend`.
+
+    ``None`` / ``'auto'`` / ``'default'`` resolve to
+    :func:`default_backend`.  A registered-but-unavailable backend falls
+    back to the default with a one-time :class:`RuntimeWarning`; an
+    unregistered name raises :class:`~repro.errors.SimulationError`.
+    """
+    if name in _DEFAULT_ALIASES:
+        name = default_backend()
+    if name not in _LOADERS:
+        raise SimulationError(
+            f"unknown kernel backend {name!r}; registered backends: "
+            f"{sorted(_LOADERS)} (or 'auto')"
+        )
+    backend = _resolve(name)
+    if backend is not None:
+        return backend
+    if name not in _WARNED:
+        _WARNED.add(name)
+        warnings.warn(
+            f"kernel backend {name!r} is unavailable ({_REASONS[name]}); "
+            f"falling back to the {default_backend()!r} backend — results "
+            "are bit-identical, only throughput differs",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return _resolve(default_backend())
+
+
+def reset_backend_state() -> None:
+    """Forget cached resolutions and one-time warnings (test hook)."""
+    _RESOLVED.clear()
+    _REASONS.clear()
+    _WARNED.clear()

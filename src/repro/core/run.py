@@ -26,6 +26,7 @@ import numpy as np
 from ..errors import SimulationError
 from ..types import SeedLike, StopPredicate
 from .agent_engine import AgentEngine
+from .async_recorder import AsyncTrajectoryRecorder
 from .batch_engine import BatchEngine
 from .configuration import Configuration
 from .counts_engine import CountsEngine
@@ -114,6 +115,7 @@ def make_engine(
     *,
     engine: str = "auto",
     seed: SeedLike = None,
+    backend: Optional[str] = None,
     **engine_kwargs: Any,
 ) -> BaseEngine:
     """Construct an engine from a protocol and an initial condition.
@@ -122,7 +124,9 @@ def make_engine(
     through the protocol) or a raw state-count vector.  ``engine`` is
     ``'agent'``, ``'counts'``, ``'batch'`` or ``'auto'`` (exact counts
     engine up to :data:`AUTO_ENGINE_COUNTS_LIMIT` agents, τ-leaping
-    beyond).
+    beyond).  ``backend`` selects the compute-kernel backend
+    (:mod:`repro.core.kernels`); backends are bit-identical, so it only
+    affects throughput.
     """
     if isinstance(initial, Configuration):
         counts = protocol.encode_configuration(initial)
@@ -137,7 +141,7 @@ def make_engine(
         raise SimulationError(
             f"unknown engine {engine!r}; choose from {sorted(_ENGINES)} or 'auto'"
         ) from None
-    return engine_cls(protocol, counts, seed=seed, **engine_kwargs)
+    return engine_cls(protocol, counts, seed=seed, backend=backend, **engine_kwargs)
 
 
 def simulate(
@@ -146,11 +150,13 @@ def simulate(
     *,
     engine: str = "auto",
     seed: SeedLike = None,
+    backend: Optional[str] = None,
     max_interactions: Optional[int] = None,
     max_parallel_time: Optional[float] = None,
     snapshot_every: Optional[int] = None,
     stop: Optional[StopPredicate] = None,
     stop_when_stable: bool = True,
+    record_async: bool = False,
     metadata: Optional[Dict[str, Any]] = None,
     **engine_kwargs: Any,
 ) -> RunResult:
@@ -162,9 +168,16 @@ def simulate(
     optional extra ``stop`` predicate fires, whichever comes first.
 
     ``snapshot_every`` sets the recording / stop-checking cadence in
-    interactions (default: half a parallel round).
+    interactions (default: half a parallel round).  ``backend`` picks
+    the compute-kernel backend — a pure throughput knob, bit-identical
+    across backends.  ``record_async=True`` processes snapshots on a
+    worker thread (:class:`AsyncTrajectoryRecorder`) so recording
+    overlaps simulation at large n; the recorded trajectory is
+    identical either way.
     """
-    eng = make_engine(protocol, initial, engine=engine, seed=seed, **engine_kwargs)
+    eng = make_engine(
+        protocol, initial, engine=engine, seed=seed, backend=backend, **engine_kwargs
+    )
     if (max_interactions is None) == (max_parallel_time is None):
         raise SimulationError(
             "specify exactly one of max_interactions / max_parallel_time"
@@ -180,14 +193,18 @@ def simulate(
     # Absorption always halts the loop (nothing can change afterwards);
     # stop_when_stable only controls whether we *report* it as intended.
 
-    recorder = TrajectoryRecorder()
+    recorder = AsyncTrajectoryRecorder() if record_async else TrajectoryRecorder()
     started = time.perf_counter()
-    eng.run(
-        max_interactions,
-        stop=predicate,
-        snapshot_every=snapshot_every,
-        recorder=recorder,
-    )
+    try:
+        eng.run(
+            max_interactions,
+            stop=predicate,
+            snapshot_every=snapshot_every,
+            recorder=recorder,
+        )
+    finally:
+        if isinstance(recorder, AsyncTrajectoryRecorder):
+            recorder.close()
     elapsed = time.perf_counter() - started
 
     undecided_index: Optional[int] = None
@@ -198,6 +215,7 @@ def simulate(
 
     meta = {
         "engine": eng.engine_name,
+        "backend": eng.backend,
         "protocol": protocol.name,
         "n": eng.n,
         **(metadata or {}),

@@ -101,11 +101,15 @@ class Experiment(abc.ABC):
     parameters.  ``workers`` sizes the process pool for experiments
     built on seed ensembles (``0`` = in-process serial, ``None`` = all
     CPUs); results are bit-identical for every value, and experiments
-    without an ensemble simply ignore it.  ``shard``, ``resume`` and
-    ``out`` drive the sharded sweep layer (:mod:`repro.sweep`) for
-    experiments that are grid sweeps (:class:`SweepExperiment`); the
-    rest accept and ignore them, so the registry and CLI can thread
-    them universally.
+    without an ensemble simply ignore it.  ``backend`` selects the
+    compute-kernel backend (:mod:`repro.core.kernels`) the simulation
+    engines run on — also bit-identical by contract, so like
+    ``workers`` it is a pure throughput knob that sweeps and ensembles
+    fan out across the process pool.  ``shard``, ``resume`` and ``out``
+    drive the sharded sweep layer (:mod:`repro.sweep`) for experiments
+    that are grid sweeps (:class:`SweepExperiment`); the rest accept
+    and ignore them, so the registry and CLI can thread them
+    universally.
     """
 
     #: Registry id; subclasses override.
@@ -119,6 +123,7 @@ class Experiment(abc.ABC):
     #: ``sweep run --shard/--resume/--out``).
     GLOBAL_DEFAULTS: Dict[str, Any] = {
         "workers": 0,
+        "backend": None,
         "shard": None,
         "resume": False,
         "out": None,
@@ -208,6 +213,16 @@ class SweepExperiment(Experiment):
     def finalize(self, rows: List[Dict[str, Any]]) -> ExperimentResult:
         """Assemble the result from the full grid's rows (grid order)."""
 
+    def partial_row_view(self, row: Dict[str, Any]) -> Dict[str, Any]:
+        """How one checkpoint row appears in a *partial-shard* report.
+
+        Checkpoints always keep the full row; this only shapes the
+        table a partial ``repro sweep run`` prints.  Override when rows
+        carry bulk payloads (e.g. trajectory polylines) that would
+        swamp the terminal.
+        """
+        return row
+
     def _execute(self) -> ExperimentResult:
         plan = self.build_plan()
         shard = ShardSpec.parse(self.params["shard"])
@@ -229,7 +244,7 @@ class SweepExperiment(Experiment):
         )
         if not shard.is_full:
             return self._result(
-                rows=run.rows,
+                rows=[self.partial_row_view(dict(row)) for row in run.rows],
                 notes=[
                     f"partial sweep: shard {shard} computed "
                     f"{len(run.outcomes)}/{len(plan)} grid points "

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from functools import partial
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from ..analysis.stabilization import usd_stabilization_ensemble
 from ..sweep import SweepPlan
@@ -52,6 +52,7 @@ def _threshold_point(
     *,
     num_seeds: int,
     engine: str,
+    backend: Optional[str],
     max_parallel_time: float,
 ) -> Dict[str, Any]:
     """One (k, bias) cell of the threshold grid (module-level: pickles)."""
@@ -61,6 +62,7 @@ def _threshold_point(
         num_seeds=num_seeds,
         seed=point_seed,
         engine=engine,
+        backend=backend,
         max_parallel_time=max_parallel_time,
         workers=0,
     )
@@ -118,6 +120,7 @@ class BiasThresholdExperiment(SweepExperiment):
             _threshold_point,
             num_seeds=self.params["num_seeds"],
             engine=self.params["engine"],
+            backend=self.params["backend"],
             max_parallel_time=self.params["max_parallel_time"],
         )
 

@@ -53,6 +53,7 @@ class EngineAblationExperiment(Experiment):
                     protocol,
                     config,
                     engine=engine_name,
+                    backend=self.params["backend"],
                     seed=derive_seed(self.params["seed"], index),
                     max_parallel_time=self.params["max_parallel_time"],
                 )
@@ -100,6 +101,7 @@ class EngineAblationExperiment(Experiment):
             protocol if config.k == protocol.k else UndecidedStateDynamics(config.k),
             config,
             engine=engine_name,
+            backend=self.params["backend"],
             seed=self.params["seed"],
         )
         started = time.perf_counter()

@@ -10,64 +10,112 @@ common parallel-time grid, and reports
 * the distribution of stabilization times, doubling times and their
   ratio,
 * the fraction of runs won by the designated majority.
+
+The ensemble executes through :mod:`repro.sweep`: each member is one
+:class:`~repro.workloads.sweeps.SweepPoint` (distinguished by its
+``member`` index in ``extras``) whose seed derives from the root seed
+and the grid index — the same ``derive_seed(root, i)`` contract the
+previous in-``_execute`` ensemble used, so per-member trajectories are
+unchanged.  Members therefore shard across hosts, checkpoint as they
+finish and resume (``shard``/``resume``/``out``, ``repro sweep
+run/merge``); each checkpoint row carries the member's summary *and*
+its u(t) polyline (downsampled to ≤ :data:`MAX_TRACE_SAMPLES` vertices)
+so :meth:`finalize` can rebuild the ensemble band from rows alone.
 """
 
 from __future__ import annotations
 
 import math
 from functools import partial
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from ..analysis.ensembles import ensemble_band
+from ..analysis.ensembles import ensemble_band_from_series
 from ..analysis.stabilization import UNDETERMINED_WINNER
 from ..analysis.trajectories import doubling_time
-from ..core.configuration import Configuration
-from ..core.recorder import Trace
 from ..core.run import simulate
-from ..parallel import run_ensemble
 from ..protocols.usd import UndecidedStateDynamics
+from ..sweep import SweepPlan
 from ..theory.bounds import paper_k_schedule
 from ..workloads.initial import paper_bias, paper_initial_configuration
-from .base import Experiment, ExperimentResult
+from ..workloads.sweeps import SweepPoint
+from .base import ExperimentResult, SweepExperiment
 
 __all__ = ["Figure1EnsembleExperiment"]
 
+#: Per-member u(t) polylines are stored in checkpoint rows at most this
+#: many vertices long (uniform index subsampling, endpoints kept).  The
+#: band interpolates linearly onto :func:`ensemble_band_from_series`'s
+#: grid, so this loses nothing visible while keeping checkpoints small.
+MAX_TRACE_SAMPLES = 1024
 
-def _figure1_task(
-    index: int,
-    run_seed: int,
-    *,
-    config: Configuration,
-    k: int,
-    engine: str,
-    max_parallel_time: float,
-    snapshot_every: int,
-) -> Optional[Tuple[Trace, float, int, Optional[float]]]:
-    """One ensemble member: ``(trace, stab_time, winner, doubling_time)``.
 
-    ``None`` marks a run that did not stabilize.  Module-level so the
-    ensemble can fan out over process-pool workers; the doubling time is
-    computed worker-side so the parent only post-processes.
+def _downsample(times: np.ndarray, values: np.ndarray):
+    """Thin a polyline to ≤ :data:`MAX_TRACE_SAMPLES` aligned vertices.
+
+    One index set applied to both arrays, so the (time, value) pairing
+    can never skew; endpoints are preserved.
     """
-    protocol = UndecidedStateDynamics(k=k)
+    if times.shape[0] != values.shape[0]:
+        raise ValueError("polyline arrays disagree in length")
+    if times.shape[0] <= MAX_TRACE_SAMPLES:
+        return times, values
+    picks = np.unique(
+        np.round(np.linspace(0, times.shape[0] - 1, MAX_TRACE_SAMPLES)).astype(int)
+    )
+    return times[picks], values[picks]
+
+
+def _figure1_member(
+    point: SweepPoint,
+    point_seed: int,
+    *,
+    engine: str,
+    backend: Optional[str],
+    max_parallel_time: float,
+) -> Dict[str, Any]:
+    """One ensemble member (module-level so it pickles across workers)."""
+    protocol = UndecidedStateDynamics(k=point.k)
+    config = paper_initial_configuration(point.n, point.k, point.bias)
     result = simulate(
         protocol,
         config,
         engine=engine,
-        seed=run_seed,
+        backend=backend,
+        seed=point_seed,
         max_parallel_time=max_parallel_time,
-        snapshot_every=snapshot_every,
+        snapshot_every=max(1, point.n // 10),
     )
+    row: Dict[str, Any] = {
+        "n": point.n,
+        "k": point.k,
+        "bias": point.bias,
+        "member": point.extras["member"],
+        "point_seed": point_seed,
+        "stabilized": bool(result.stabilized),
+        "stab_parallel_time": result.stabilization_parallel_time,
+        "winner": None,
+        "doubling_parallel_time": None,
+        "trace_parallel_times": None,
+        "trace_undecided": None,
+    }
     if not result.stabilized:
-        return None
+        return row
     winner = result.winner if result.winner is not None else UNDETERMINED_WINNER
-    double = doubling_time(result.trace, opinion=1) if winner == 1 else None
-    return result.trace, result.stabilization_parallel_time, winner, double
+    row["winner"] = winner
+    if winner == 1:
+        row["doubling_parallel_time"] = doubling_time(result.trace, opinion=1)
+    picks_t, picks_u = _downsample(
+        result.trace.parallel_times.astype(float),
+        result.trace.undecided_series().astype(float),
+    )
+    row["trace_parallel_times"] = picks_t.tolist()
+    row["trace_undecided"] = picks_u.tolist()
+    return row
 
 
-class Figure1EnsembleExperiment(Experiment):
+class Figure1EnsembleExperiment(SweepExperiment):
     """Seed-ensemble version of the Figure 1 reproduction."""
 
     experiment_id = "fig1-ensemble"
@@ -82,64 +130,84 @@ class Figure1EnsembleExperiment(Experiment):
         "max_parallel_time": 2_000.0,
     }
 
-    def _execute(self) -> ExperimentResult:
+    def _resolved_nkb(self):
         n = self.params["n"]
         k = self.params["k"] or paper_k_schedule(n)
         bias = self.params["bias"] or paper_bias(n)
-        config = paper_initial_configuration(n, k, bias)
+        return n, k, bias
 
-        task = partial(
-            _figure1_task,
-            config=config,
-            k=k,
+    def build_plan(self) -> SweepPlan:
+        n, k, bias = self._resolved_nkb()
+        points = [
+            SweepPoint(
+                n=n, k=k, bias=bias, label=f"member {i}", extras={"member": i}
+            )
+            for i in range(self.params["num_seeds"])
+        ]
+        return SweepPlan(
+            sweep_id=self.experiment_id,
+            points=tuple(points),
+            root_seed=self.params["seed"],
+            meta=self.local_params,
+        )
+
+    def point_task(self):
+        return partial(
+            _figure1_member,
             engine=self.params["engine"],
+            backend=self.params["backend"],
             max_parallel_time=self.params["max_parallel_time"],
-            snapshot_every=max(1, n // 10),
-        )
-        outcomes = run_ensemble(
-            task,
-            self.params["num_seeds"],
-            seed=self.params["seed"],
-            workers=self.params["workers"],
         )
 
-        traces, stab_times, double_times, winners = [], [], [], []
-        for outcome in outcomes:
-            if outcome is None:
-                continue
-            trace, stab_time, winner, double = outcome
-            traces.append(trace)
-            stab_times.append(stab_time)
-            winners.append(winner)
-            if double is not None:
-                double_times.append((double, stab_time))
+    def partial_row_view(self, row: Dict[str, Any]) -> Dict[str, Any]:
+        """Partial-shard reports summarise the polylines, not print them."""
+        times = row.pop("trace_parallel_times", None)
+        row.pop("trace_undecided", None)
+        row["trace_points"] = None if times is None else len(times)
+        return row
 
-        if not traces:
+    def finalize(self, rows: List[Dict[str, Any]]) -> ExperimentResult:
+        n, k, bias = self._resolved_nkb()
+        done = [row for row in rows if row["stabilized"]]
+        if not done:
             raise RuntimeError("no run stabilized — raise max_parallel_time")
 
-        undecided_band = ensemble_band(traces, "undecided")
+        stab_times = [row["stab_parallel_time"] for row in done]
+        winners = [row["winner"] for row in done]
+        double_times = [
+            (row["doubling_parallel_time"], row["stab_parallel_time"])
+            for row in done
+            if row["doubling_parallel_time"] is not None
+        ]
+
+        # Ensemble band of u(t) on a common parallel-time grid, rebuilt
+        # from the checkpointed polylines (beyond a member's last
+        # snapshot its final value is held: the run is absorbed).
+        band = ensemble_band_from_series(
+            [(row["trace_parallel_times"], row["trace_undecided"]) for row in done]
+        )
+        grid, mean, lower, upper = band.grid, band.mean, band.lower, band.upper
+
         plateau = n / 2.0 - n / (4.0 * k)
         scale = math.sqrt(n * math.log(n))
         # Measure the band against the plateau over the settled window
         # (after ramp-up, before the earliest finisher starts collapsing).
-        settle_start = np.searchsorted(undecided_band.grid, 5.0)
-        settle_end = np.searchsorted(
-            undecided_band.grid, 0.6 * float(np.min(stab_times))
-        )
+        settle_start = np.searchsorted(grid, 5.0)
+        settle_end = np.searchsorted(grid, 0.6 * float(np.min(stab_times)))
         if settle_end > settle_start:
             mean_dev = float(
-                np.abs(undecided_band.mean[settle_start:settle_end] - plateau).max()
+                np.abs(mean[settle_start:settle_end] - plateau).max()
             ) / scale
         else:
             mean_dev = float("nan")
 
         ratios = [d / s for d, s in double_times]
-        rows = [
+        summary_rows = [
             {
                 "n": n,
                 "k": k,
                 "bias": bias,
-                "runs": len(traces),
+                "runs": len(done),
                 "majority_win_fraction": float(np.mean([w == 1 for w in winners])),
                 "stab_time_median": float(np.median(stab_times)),
                 "stab_time_min": float(np.min(stab_times)),
@@ -159,11 +227,11 @@ class Figure1EnsembleExperiment(Experiment):
             else "no majority-win run doubled before the horizon",
         ]
         series = {
-            "grid": undecided_band.grid,
-            "undecided_mean": undecided_band.mean,
-            "undecided_lower": undecided_band.lower,
-            "undecided_upper": undecided_band.upper,
-            "plateau_reference": np.full(undecided_band.grid.shape, plateau),
+            "grid": grid,
+            "undecided_mean": mean,
+            "undecided_lower": lower,
+            "undecided_upper": upper,
+            "plateau_reference": np.full(grid.shape, plateau),
             "stab_times": np.asarray(stab_times, dtype=float),
         }
-        return self._result(rows=rows, series=series, notes=notes)
+        return self._result(rows=summary_rows, series=series, notes=notes)

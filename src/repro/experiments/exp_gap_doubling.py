@@ -9,12 +9,18 @@ Setup: a plateau configuration whose maximum gap is exactly ``α/2``
 (opinion 1 half a gap above the common level, opinion k half below).
 We measure the first time the maximum pairwise gap reaches ``α``; the
 minimum over seeds must exceed ``k·n/24``.
+
+The k-grid executes through :mod:`repro.sweep`; each point carries its
+gap scale ``α`` in ``extras`` (part of the canonical label), and seeds
+derive from the root seed and the grid index, so the grid shards,
+checkpoints and resumes like every sweep experiment.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Dict
+from functools import partial
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -23,9 +29,11 @@ from ..core.run import simulate
 from ..errors import ExperimentError
 from ..protocols.usd import UndecidedStateDynamics
 from ..rng import derive_seed
+from ..sweep import SweepPlan
 from ..theory.lemmas import lemma34_alpha_valid, lemma34_min_interactions
 from ..workloads.initial import plateau_gap_configuration
-from .base import Experiment, ExperimentResult
+from ..workloads.sweeps import SweepPoint
+from .base import ExperimentResult, SweepExperiment
 
 __all__ = ["GapDoublingExperiment", "choose_alpha"]
 
@@ -45,7 +53,59 @@ def choose_alpha(n: int, k: int) -> int:
     return alpha
 
 
-class GapDoublingExperiment(Experiment):
+def _gap_point(
+    point: SweepPoint,
+    point_seed: int,
+    *,
+    num_seeds: int,
+    engine: str,
+    backend: Optional[str],
+    horizon_multiple: float,
+) -> Dict[str, Any]:
+    """One k of the Lemma 3.4 grid (module-level so it pickles)."""
+    n, k = point.n, point.k
+    alpha = int(point.extras["alpha"])
+    protocol = UndecidedStateDynamics(k=k)
+    config = plateau_gap_configuration(n, k, gap=alpha // 2)
+    bound = lemma34_min_interactions(n, k)
+    horizon = int(horizon_multiple * bound)
+    double_times = []
+    censored = 0
+    for index in range(num_seeds):
+        result = simulate(
+            protocol,
+            config,
+            engine=engine,
+            backend=backend,
+            seed=derive_seed(point_seed, index),
+            max_interactions=horizon,
+            snapshot_every=max(1, n // 10),
+            stop=stopping.gap_reached(protocol, alpha),
+        )
+        final = result.final_configuration()
+        if final.max_gap() >= alpha:
+            double_times.append(result.interactions)
+        else:
+            censored += 1
+    measured_min = float(min(double_times)) if double_times else float("inf")
+    return {
+        "n": n,
+        "k": k,
+        "point_seed": point_seed,
+        "alpha": alpha,
+        "alpha_window_valid": lemma34_alpha_valid(n, k, alpha),
+        "bound_interactions": bound,
+        "min_measured": None if not double_times else measured_min,
+        "median_measured": None
+        if not double_times
+        else float(np.median(double_times)),
+        "min_over_bound": None if not double_times else measured_min / bound,
+        "censored_runs": censored,
+        "bound_holds": measured_min >= bound,
+    }
+
+
+class GapDoublingExperiment(SweepExperiment):
     """Measured α/2 → α gap-doubling times versus the k·n/24 bound."""
 
     experiment_id = "lem34-gap"
@@ -59,54 +119,36 @@ class GapDoublingExperiment(Experiment):
         "horizon_multiple": 12.0,  # horizon = multiple × (k n / 24)
     }
 
-    def _execute(self) -> ExperimentResult:
+    def build_plan(self) -> SweepPlan:
         n = self.params["n"]
-        rows = []
-        all_ok = True
-        for k in self.params["k_values"]:
-            protocol = UndecidedStateDynamics(k=k)
-            alpha = choose_alpha(n, k)
-            config = plateau_gap_configuration(n, k, gap=alpha // 2)
-            bound = lemma34_min_interactions(n, k)
-            horizon = int(self.params["horizon_multiple"] * bound)
-            double_times = []
-            censored = 0
-            for index in range(self.params["num_seeds"]):
-                result = simulate(
-                    protocol,
-                    config,
-                    engine=self.params["engine"],
-                    seed=derive_seed(self.params["seed"], 1000 * k + index),
-                    max_interactions=horizon,
-                    snapshot_every=max(1, n // 10),
-                    stop=stopping.gap_reached(protocol, alpha),
-                )
-                final = result.final_configuration()
-                if final.max_gap() >= alpha:
-                    double_times.append(result.interactions)
-                else:
-                    censored += 1
-            measured_min = float(min(double_times)) if double_times else float("inf")
-            ok = measured_min >= bound
-            all_ok = all_ok and ok
-            rows.append(
-                {
-                    "n": n,
-                    "k": k,
-                    "alpha": alpha,
-                    "alpha_window_valid": lemma34_alpha_valid(n, k, alpha),
-                    "bound_interactions": bound,
-                    "min_measured": None if not double_times else measured_min,
-                    "median_measured": None
-                    if not double_times
-                    else float(np.median(double_times)),
-                    "min_over_bound": None
-                    if not double_times
-                    else measured_min / bound,
-                    "censored_runs": censored,
-                    "bound_holds": ok,
-                }
+        points = [
+            SweepPoint(
+                n=n,
+                k=int(k),
+                bias=0,
+                label=f"k={k}",
+                extras={"alpha": choose_alpha(n, int(k))},
             )
+            for k in self.params["k_values"]
+        ]
+        return SweepPlan(
+            sweep_id=self.experiment_id,
+            points=tuple(points),
+            root_seed=self.params["seed"],
+            meta=self.local_params,
+        )
+
+    def point_task(self):
+        return partial(
+            _gap_point,
+            num_seeds=self.params["num_seeds"],
+            engine=self.params["engine"],
+            backend=self.params["backend"],
+            horizon_multiple=self.params["horizon_multiple"],
+        )
+
+    def finalize(self, rows: List[Dict[str, Any]]) -> ExperimentResult:
+        all_ok = all(row["bound_holds"] for row in rows)
         notes = [
             "all measured gap-doubling times respect the kn/24 lower bound"
             if all_ok

@@ -10,12 +10,18 @@ lemma permits), the rest equal — and measure the first time opinion 1's
 support reaches ``⌈2n/k⌉``, over several seeds.  The measured minimum
 must exceed ``k·n/25``; runs that never reach the target within the
 horizon only reinforce the bound and are reported as censored.
+
+The k-grid executes through :mod:`repro.sweep` (one
+:class:`~repro.workloads.sweeps.SweepPoint` per k, seeds derived from
+the root seed and the grid index), so it shards, checkpoints and
+resumes like every grid in the repo.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Dict
+from functools import partial
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -23,14 +29,70 @@ from ..core import stopping
 from ..core.run import simulate
 from ..protocols.usd import UndecidedStateDynamics
 from ..rng import derive_seed
+from ..sweep import SweepPlan
 from ..theory.lemmas import lemma33_min_interactions, lemma33_thresholds
 from ..workloads.initial import plateau_configuration
-from .base import Experiment, ExperimentResult
+from ..workloads.sweeps import SweepPoint
+from .base import ExperimentResult, SweepExperiment
 
 __all__ = ["OpinionGrowthExperiment"]
 
 
-class OpinionGrowthExperiment(Experiment):
+def _growth_point(
+    point: SweepPoint,
+    point_seed: int,
+    *,
+    num_seeds: int,
+    engine: str,
+    backend: Optional[str],
+    horizon_multiple: float,
+) -> Dict[str, Any]:
+    """One k of the Lemma 3.3 grid (module-level so it pickles)."""
+    n, k = point.n, point.k
+    protocol = UndecidedStateDynamics(k=k)
+    start_support, target_support = lemma33_thresholds(n, k)
+    config = plateau_configuration(
+        n, k, target_opinion_support=int(round(start_support))
+    )
+    bound = lemma33_min_interactions(n, k)
+    horizon = int(horizon_multiple * bound)
+    target = int(math.ceil(target_support))
+    reach_times = []
+    censored = 0
+    for index in range(num_seeds):
+        result = simulate(
+            protocol,
+            config,
+            engine=engine,
+            backend=backend,
+            seed=derive_seed(point_seed, index),
+            max_interactions=horizon,
+            snapshot_every=max(1, n // 10),
+            stop=stopping.opinion_reached(protocol, 1, target),
+        )
+        if int(result.final_counts[1]) >= target:
+            reach_times.append(result.interactions)
+        else:
+            censored += 1
+    measured_min = float(min(reach_times)) if reach_times else float("inf")
+    return {
+        "n": n,
+        "k": k,
+        "point_seed": point_seed,
+        "start_support": int(round(start_support)),
+        "target_support": target,
+        "bound_interactions": bound,
+        "min_measured": None if not reach_times else measured_min,
+        "median_measured": None
+        if not reach_times
+        else float(np.median(reach_times)),
+        "min_over_bound": None if not reach_times else measured_min / bound,
+        "censored_runs": censored,
+        "bound_holds": measured_min >= bound,
+    }
+
+
+class OpinionGrowthExperiment(SweepExperiment):
     """Measured 3n/2k → 2n/k growth times versus the k·n/25 bound."""
 
     experiment_id = "lem33-growth"
@@ -44,57 +106,30 @@ class OpinionGrowthExperiment(Experiment):
         "horizon_multiple": 12.0,  # horizon = multiple × (k n / 25)
     }
 
-    def _execute(self) -> ExperimentResult:
+    def build_plan(self) -> SweepPlan:
         n = self.params["n"]
-        rows = []
-        all_ok = True
-        for k in self.params["k_values"]:
-            protocol = UndecidedStateDynamics(k=k)
-            start_support, target_support = lemma33_thresholds(n, k)
-            config = plateau_configuration(
-                n, k, target_opinion_support=int(round(start_support))
-            )
-            bound = lemma33_min_interactions(n, k)
-            horizon = int(self.params["horizon_multiple"] * bound)
-            target = int(math.ceil(target_support))
-            reach_times = []
-            censored = 0
-            for index in range(self.params["num_seeds"]):
-                result = simulate(
-                    protocol,
-                    config,
-                    engine=self.params["engine"],
-                    seed=derive_seed(self.params["seed"], 1000 * k + index),
-                    max_interactions=horizon,
-                    snapshot_every=max(1, n // 10),
-                    stop=stopping.opinion_reached(protocol, 1, target),
-                )
-                reached = int(result.final_counts[1]) >= target
-                if reached:
-                    reach_times.append(result.interactions)
-                else:
-                    censored += 1
-            measured_min = float(min(reach_times)) if reach_times else float("inf")
-            ok = measured_min >= bound
-            all_ok = all_ok and ok
-            rows.append(
-                {
-                    "n": n,
-                    "k": k,
-                    "start_support": int(round(start_support)),
-                    "target_support": target,
-                    "bound_interactions": bound,
-                    "min_measured": None if not reach_times else measured_min,
-                    "median_measured": None
-                    if not reach_times
-                    else float(np.median(reach_times)),
-                    "min_over_bound": None
-                    if not reach_times
-                    else measured_min / bound,
-                    "censored_runs": censored,
-                    "bound_holds": ok,
-                }
-            )
+        points = [
+            SweepPoint(n=n, k=int(k), bias=0, label=f"k={k}")
+            for k in self.params["k_values"]
+        ]
+        return SweepPlan(
+            sweep_id=self.experiment_id,
+            points=tuple(points),
+            root_seed=self.params["seed"],
+            meta=self.local_params,
+        )
+
+    def point_task(self):
+        return partial(
+            _growth_point,
+            num_seeds=self.params["num_seeds"],
+            engine=self.params["engine"],
+            backend=self.params["backend"],
+            horizon_multiple=self.params["horizon_multiple"],
+        )
+
+    def finalize(self, rows: List[Dict[str, Any]]) -> ExperimentResult:
+        all_ok = all(row["bound_holds"] for row in rows)
         notes = [
             "all measured growth times respect the kn/25 lower bound"
             if all_ok

@@ -23,7 +23,7 @@ across processes and hosts (``shard``/``resume``/``out`` parameters,
 from __future__ import annotations
 
 from functools import partial
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from ..analysis.scaling import compare_scaling_laws, law_value
 from ..analysis.stabilization import usd_stabilization_ensemble
@@ -45,6 +45,7 @@ def _scaling_point(
     *,
     num_seeds: int,
     engine: str,
+    backend: Optional[str],
     max_parallel_time: float,
 ) -> Dict[str, Any]:
     """One k of the Theorem 3.5 grid (module-level so it pickles)."""
@@ -54,6 +55,7 @@ def _scaling_point(
         num_seeds=num_seeds,
         seed=point_seed,
         engine=engine,
+        backend=backend,
         max_parallel_time=max_parallel_time,
         workers=0,
     )
@@ -100,6 +102,7 @@ class ScalingExperiment(SweepExperiment):
             _scaling_point,
             num_seeds=self.params["num_seeds"],
             engine=self.params["engine"],
+            backend=self.params["backend"],
             max_parallel_time=self.params["max_parallel_time"],
         )
 

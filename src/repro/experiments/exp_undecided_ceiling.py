@@ -11,25 +11,74 @@ exceedance ``(max_t u(t) − ũ)/√(n log n)``: the lemma says it is below
 2641; drift heuristics say it should be O(1).  This experiment runs a
 grid of ``(n, k)`` with several seeds from the paper's initial
 configuration and reports the worst normalized exceedance per point.
+
+The (n, k) grid executes through :mod:`repro.sweep` — one
+:class:`~repro.workloads.sweeps.SweepPoint` per cell, per-point seeds
+derived from the root seed and the grid index — so it shards,
+checkpoints and resumes like every grid in the repo
+(``shard``/``resume``/``out`` parameters, ``repro sweep run/merge``).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Dict
+from functools import partial
+from typing import Any, Dict, List, Optional
 
 from ..analysis.trajectories import undecided_exceedance
 from ..core.run import simulate
 from ..protocols.usd import UndecidedStateDynamics
 from ..rng import derive_seed
+from ..sweep import SweepPlan
 from ..theory.lemmas import LEMMA31_SLACK_MULTIPLIER, lemma31_ceiling, u_tilde
-from ..workloads.initial import paper_initial_configuration
-from .base import Experiment, ExperimentResult
+from ..workloads.initial import paper_bias, paper_initial_configuration
+from ..workloads.sweeps import SweepPoint
+from .base import ExperimentResult, SweepExperiment
 
 __all__ = ["UndecidedCeilingExperiment"]
 
 
-class UndecidedCeilingExperiment(Experiment):
+def _ceiling_point(
+    point: SweepPoint,
+    point_seed: int,
+    *,
+    num_seeds: int,
+    engine: str,
+    backend: Optional[str],
+    max_parallel_time: float,
+) -> Dict[str, Any]:
+    """One (n, k) cell of the Lemma 3.1 grid (module-level so it pickles)."""
+    n, k = point.n, point.k
+    config = paper_initial_configuration(n, k, point.bias)
+    protocol = UndecidedStateDynamics(k=k)
+    worst = -math.inf
+    for index in range(num_seeds):
+        result = simulate(
+            protocol,
+            config,
+            engine=engine,
+            backend=backend,
+            seed=derive_seed(point_seed, index),
+            max_parallel_time=max_parallel_time,
+            snapshot_every=max(1, n // 20),
+        )
+        exceedance = undecided_exceedance(result.trace, k)
+        worst = max(worst, exceedance.normalized)
+    return {
+        "n": n,
+        "k": k,
+        "point_seed": point_seed,
+        "u_tilde": u_tilde(n, k),
+        "plateau": n / 2 - n / (4 * k),
+        "max_exceedance_normalized": worst,
+        "paper_slack_multiplier": LEMMA31_SLACK_MULTIPLIER,
+        "lemma_ceiling": lemma31_ceiling(n, k),
+        "within_lemma": worst < LEMMA31_SLACK_MULTIPLIER,
+        "within_tight_band": worst < 5.0,
+    }
+
+
+class UndecidedCeilingExperiment(SweepExperiment):
     """Grid validation of the Lemma 3.1 undecided-count ceiling."""
 
     experiment_id = "lem31-ceiling"
@@ -43,39 +92,30 @@ class UndecidedCeilingExperiment(Experiment):
         "max_parallel_time": 1_500.0,
     }
 
-    def _execute(self) -> ExperimentResult:
-        rows = []
-        worst_overall = -math.inf
-        for n in self.params["n_values"]:
-            for k in self.params["k_values"]:
-                worst = -math.inf
-                config = paper_initial_configuration(n, k)
-                protocol = UndecidedStateDynamics(k=k)
-                for index in range(self.params["num_seeds"]):
-                    result = simulate(
-                        protocol,
-                        config,
-                        engine=self.params["engine"],
-                        seed=derive_seed(self.params["seed"], hash((n, k)) % 10_000 + index),
-                        max_parallel_time=self.params["max_parallel_time"],
-                        snapshot_every=max(1, n // 20),
-                    )
-                    exceedance = undecided_exceedance(result.trace, k)
-                    worst = max(worst, exceedance.normalized)
-                worst_overall = max(worst_overall, worst)
-                rows.append(
-                    {
-                        "n": n,
-                        "k": k,
-                        "u_tilde": u_tilde(n, k),
-                        "plateau": n / 2 - n / (4 * k),
-                        "max_exceedance_normalized": worst,
-                        "paper_slack_multiplier": LEMMA31_SLACK_MULTIPLIER,
-                        "lemma_ceiling": lemma31_ceiling(n, k),
-                        "within_lemma": worst < LEMMA31_SLACK_MULTIPLIER,
-                        "within_tight_band": worst < 5.0,
-                    }
-                )
+    def build_plan(self) -> SweepPlan:
+        points = [
+            SweepPoint(n=int(n), k=int(k), bias=paper_bias(int(n)), label=f"n={n}, k={k}")
+            for n in self.params["n_values"]
+            for k in self.params["k_values"]
+        ]
+        return SweepPlan(
+            sweep_id=self.experiment_id,
+            points=tuple(points),
+            root_seed=self.params["seed"],
+            meta=self.local_params,
+        )
+
+    def point_task(self):
+        return partial(
+            _ceiling_point,
+            num_seeds=self.params["num_seeds"],
+            engine=self.params["engine"],
+            backend=self.params["backend"],
+            max_parallel_time=self.params["max_parallel_time"],
+        )
+
+    def finalize(self, rows: List[Dict[str, Any]]) -> ExperimentResult:
+        worst_overall = max(row["max_exceedance_normalized"] for row in rows)
         notes = [
             f"worst normalized exceedance over the whole grid: {worst_overall:.2f} "
             f"(lemma allows up to {LEMMA31_SLACK_MULTIPLIER}; O(1) expected)",

@@ -67,7 +67,9 @@ def run_experiment(experiment_id: str, **params: Any) -> ExperimentResult:
 
     Besides each experiment's own ``DEFAULTS``, the global parameters of
     :class:`Experiment` are accepted for every id and threaded through
-    unchanged: ``workers`` (the process-pool size) plus the sweep-layer
+    unchanged: ``workers`` (the process-pool size), ``backend`` (the
+    compute-kernel backend of :mod:`repro.core.kernels` — bit-identical
+    across backends, so a pure throughput knob) plus the sweep-layer
     trio ``shard``/``resume``/``out`` (sharded execution, checkpoint
     reuse and checkpoint directory for :class:`~repro.experiments.base.
     SweepExperiment` subclasses; ignored by non-sweep experiments).

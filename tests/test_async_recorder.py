@@ -1,0 +1,123 @@
+"""The worker-thread trajectory recorder.
+
+The contract: an :class:`~repro.core.AsyncTrajectoryRecorder` records
+*exactly* the trajectory the synchronous recorder would — same snapshot
+times, same counts, same duplicate-dropping — while doing its
+accumulation on a background thread.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AsyncTrajectoryRecorder, TrajectoryRecorder, simulate
+from repro.core.counts_engine import CountsEngine
+from repro.errors import SimulationError
+from repro.protocols import UndecidedStateDynamics
+
+
+def _run_with(recorder_cls):
+    protocol = UndecidedStateDynamics(k=3)
+    engine = CountsEngine(protocol, np.array([0, 60, 45, 45]), seed=77)
+    recorder = recorder_cls()
+    engine.run(6_000, snapshot_every=50, recorder=recorder)
+    trace = recorder.build(
+        n=engine.n,
+        state_names=protocol.state_names(),
+        protocol_name=protocol.name,
+    )
+    if isinstance(recorder, AsyncTrajectoryRecorder):
+        recorder.close()
+    return trace
+
+
+class TestSameTrajectoryAsSynchronous:
+    def test_identical_trace(self):
+        sync = _run_with(TrajectoryRecorder)
+        async_ = _run_with(AsyncTrajectoryRecorder)
+        assert np.array_equal(sync.times, async_.times)
+        assert np.array_equal(sync.counts, async_.counts)
+
+    def test_duplicate_snapshots_dropped_worker_side(self):
+        protocol = UndecidedStateDynamics(k=2)
+        engine = CountsEngine(protocol, np.array([2, 5, 3]), seed=1)
+        with AsyncTrajectoryRecorder() as recorder:
+            recorder.record(engine)
+            recorder.record(engine)  # same interaction index: dropped
+            engine.step(10)
+            recorder.record(engine)
+            assert len(recorder) == 2
+
+    def test_simulate_record_async_matches_sync(self):
+        protocol = UndecidedStateDynamics(k=3)
+        counts = np.array([0, 50, 40, 30])
+        kwargs = dict(seed=9, max_parallel_time=200.0, snapshot_every=40)
+        sync = simulate(protocol, counts, **kwargs)
+        async_ = simulate(protocol, counts, record_async=True, **kwargs)
+        assert np.array_equal(sync.trace.times, async_.trace.times)
+        assert np.array_equal(sync.trace.counts, async_.trace.counts)
+        assert sync.interactions == async_.interactions
+
+
+class TestLifecycle:
+    def test_context_manager_closes(self):
+        protocol = UndecidedStateDynamics(k=2)
+        engine = CountsEngine(protocol, np.array([4, 8, 8]), seed=2)
+        with AsyncTrajectoryRecorder() as recorder:
+            recorder.record(engine)
+        with pytest.raises(SimulationError, match="closed recorder"):
+            recorder.record(engine)
+
+    def test_close_is_idempotent_and_build_still_works(self):
+        protocol = UndecidedStateDynamics(k=2)
+        engine = CountsEngine(protocol, np.array([4, 8, 8]), seed=2)
+        recorder = AsyncTrajectoryRecorder()
+        recorder.record(engine)
+        recorder.close()
+        recorder.close()
+        trace = recorder.build(
+            n=engine.n,
+            state_names=protocol.state_names(),
+            protocol_name=protocol.name,
+        )
+        assert len(trace) == 1
+
+    def test_flush_makes_snapshots_visible(self):
+        protocol = UndecidedStateDynamics(k=2)
+        engine = CountsEngine(protocol, np.array([4, 8, 8]), seed=2)
+        recorder = AsyncTrajectoryRecorder()
+        for _ in range(100):
+            recorder.record(engine)
+            engine.step(3)
+        recorder.flush()
+        assert len(recorder) == 100
+        recorder.close()
+
+    def test_worker_failure_surfaces_on_producer(self):
+        recorder = AsyncTrajectoryRecorder()
+
+        class _Broken:
+            interactions = 0
+
+            @property
+            def counts(self):
+                return np.array([1, 2])
+
+        recorder.record(_Broken())
+        # corrupt the accumulated state so the worker's ingest raises
+        recorder._ingest = None  # type: ignore[assignment]
+        recorder.record(_Broken())
+
+        class _Later:
+            interactions = 5
+            counts = np.array([1, 2])
+
+        with pytest.raises(SimulationError, match="worker thread failed"):
+            for _ in range(100):
+                recorder.record(_Later())
+                recorder.flush()
+        # the failure is sticky: later reads keep failing fast instead
+        # of waiting forever on a drain the dead worker cannot signal
+        with pytest.raises(SimulationError, match="worker thread failed"):
+            recorder.build(n=3, state_names=("a", "b"), protocol_name="x")
+        with pytest.raises(SimulationError, match="worker thread failed"):
+            recorder.close()

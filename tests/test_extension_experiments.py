@@ -71,6 +71,25 @@ class TestFigure1Ensemble:
         # band ordering everywhere
         assert (result.series["undecided_lower"] <= result.series["undecided_upper"]).all()
 
+    def test_partial_shard_report_summarises_polylines(self, tmp_path):
+        """A partial-shard report must not dump the raw u(t) polylines
+        (checkpoints keep them; the terminal table shows a summary)."""
+        result = Figure1EnsembleExperiment(
+            n=400,
+            k=2,
+            bias=40,
+            num_seeds=3,
+            engine="counts",
+            max_parallel_time=2_000.0,
+            shard="0/2",
+            out=tmp_path,
+        ).run()
+        assert result.rows  # shard 0/2 of 3 members owns members 0 and 2
+        for row in result.rows:
+            assert "trace_parallel_times" not in row
+            assert "trace_undecided" not in row
+            assert "trace_points" in row
+
 
 class TestBinaryLogN:
     @pytest.mark.slow
