@@ -5,7 +5,7 @@ O(√n) biases let minorities win with non-negligible probability, while
 Ω(√(n log n)) biases hand the majority the win w.h.p.
 """
 
-from _common import run_and_record, rows_by
+from _common import run_and_record
 
 
 def test_bias_threshold(benchmark):

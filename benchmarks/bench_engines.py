@@ -13,9 +13,9 @@ backend at n = 10⁶ (trajectories are bit-identical either way — the
 cross-backend suite in ``tests/test_kernels.py`` enforces that).
 """
 
+import os
 import time
 
-import numpy as np
 from _common import run_and_record
 from history import record_benchmark
 
@@ -82,9 +82,20 @@ def test_batch_engine_epsilon_ablation(benchmark):
 #: (population, counts-engine interaction budget, batch budget).  The
 #: paper's Figure 1 regime is the n = 10⁶ row (k from the paper's
 #: schedule ≈ 28, ~9·10⁷ interactions end to end).
+#:
+#: ``BENCH_SMOKE=1`` (the CI benchmark-smoke leg) shrinks the grid to a
+#: seconds-scale size: the point there is exercising the measurement +
+#: history-recording path on every push, not producing a publishable
+#: number — smoke measurements are recorded under a separate history
+#: name so they never pollute the real trajectory.
+BENCH_SMOKE = bool(os.environ.get("BENCH_SMOKE"))
 BACKEND_SIZES = (
-    (10_000, 300_000, 2_000_000),
-    (1_000_000, 1_000_000, 20_000_000),
+    ((2_000, 40_000, 200_000),)
+    if BENCH_SMOKE
+    else (
+        (10_000, 300_000, 2_000_000),
+        (1_000_000, 1_000_000, 20_000_000),
+    )
 )
 
 
@@ -131,7 +142,12 @@ def test_backend_throughput(benchmark):
         return metrics
 
     metrics = benchmark.pedantic(run, rounds=1, iterations=1)
-    record_benchmark("engine-backend-throughput", metrics)
+    history_name = (
+        "engine-backend-throughput-smoke"
+        if BENCH_SMOKE
+        else "engine-backend-throughput"
+    )
+    record_benchmark(history_name, metrics)
     print()
     for key, value in metrics.items():
         if key != "backends":
@@ -140,7 +156,8 @@ def test_backend_throughput(benchmark):
                 if isinstance(value, str)
                 else f"{key}: {value:,.0f} interactions/s"
             )
-    if "numba" in backends:
+    if "numba" in backends and not BENCH_SMOKE:
+        # the speedup floor only means something at benchmark scale
         speedup = metrics["counts_numba_n1000000"] / metrics["counts_numpy_n1000000"]
         print(f"counts-engine numba speedup at n=10⁶: {speedup:.2f}x")
         assert speedup >= 3.0, (

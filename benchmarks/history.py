@@ -10,7 +10,14 @@ commit overwrites that commit's entry instead of duplicating it.
     python benchmarks/history.py                      # list benchmarks
     python benchmarks/history.py parallel-ensemble-speedup
 
-prints the commit-by-commit trajectory of the recorded metrics.
+prints the commit-by-commit trajectory of the recorded metrics, and
+
+    python benchmarks/history.py --check
+
+validates every history file (parses, schema, entries well-formed) and
+exits non-zero on problems — the CI benchmark-smoke leg runs it after
+the smoke benchmarks so a history-recording regression fails the push
+instead of silently corrupting the trajectory.
 """
 
 from __future__ import annotations
@@ -109,7 +116,63 @@ def format_trajectory(
     return "\n".join(lines)
 
 
+def check_history(
+    *, history_dir: Optional[Union[str, Path]] = None
+) -> List[str]:
+    """Validate every history file; returns a list of problems ([] = ok).
+
+    Checked per file: valid JSON with the ``{"name", "entries"}`` shape,
+    the name matching the file stem, and every entry carrying a
+    non-empty ``commit``, a ``recorded_at`` timestamp and a dict of
+    metrics — with no duplicate commit keys (``record_benchmark``'s
+    overwrite contract).
+    """
+    directory = Path(history_dir) if history_dir is not None else HISTORY_DIR
+    problems: List[str] = []
+    if not directory.exists():
+        return problems
+    for path in sorted(directory.glob("*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            problems.append(f"{path}: invalid JSON ({exc})")
+            continue
+        if not isinstance(payload, dict) or "entries" not in payload:
+            problems.append(f"{path}: not a history file (missing 'entries')")
+            continue
+        if payload.get("name") != path.stem:
+            problems.append(
+                f"{path}: name {payload.get('name')!r} does not match file stem"
+            )
+        commits = []
+        for position, entry in enumerate(payload["entries"]):
+            label = f"{path} entry {position}"
+            if not isinstance(entry, dict):
+                problems.append(f"{label}: not an object")
+                continue
+            if not entry.get("commit"):
+                problems.append(f"{label}: missing commit")
+            if not entry.get("recorded_at"):
+                problems.append(f"{label}: missing recorded_at")
+            if not isinstance(entry.get("metrics"), dict):
+                problems.append(f"{label}: metrics must be an object")
+            commits.append(entry.get("commit"))
+        duplicates = {c for c in commits if commits.count(c) > 1}
+        if duplicates:
+            problems.append(f"{path}: duplicate commit entries {sorted(duplicates)}")
+    return problems
+
+
 def main(argv: List[str]) -> int:
+    if argv and argv[0] == "--check":
+        problems = check_history()
+        for problem in problems:
+            print(f"CHECK FAILED: {problem}")
+        if problems:
+            return 1
+        count = len(list(HISTORY_DIR.glob("*.json"))) if HISTORY_DIR.exists() else 0
+        print(f"history check ok ({count} files under {HISTORY_DIR})")
+        return 0
     if argv:
         for name in argv:
             print(format_trajectory(name))

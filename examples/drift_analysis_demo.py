@@ -74,11 +74,16 @@ def lemma32_walk() -> None:
         f"\nLemma 3.2 walk for Lemma 3.3 at (n={n}, k={k}): "
         f"p = {params.p:.4f}, q = {params.q:.6f}, T = {params.target:.0f}"
     )
-    print(f"  survival floor T/(2q) = {params.min_steps:,.0f} = kn/25 = {k * n / 25:,.0f}")
+    print(
+        f"  survival floor T/(2q) = {params.min_steps:,.0f} "
+        f"= kn/25 = {k * n / 25:,.0f}"
+    )
 
     walk = LazyRandomWalk(p=0.5, q=0.02)
     floor = lemma32_survival_steps(200, 0.02)
-    estimate = estimate_hitting_time(walk, 200, runs=20, max_steps=int(3 * floor), seed=4)
+    estimate = estimate_hitting_time(
+        walk, 200, runs=20, max_steps=int(3 * floor), seed=4
+    )
     print(
         f"  toy walk (p=0.5, q=0.02, T=200): floor {floor:,.0f} steps, "
         f"measured min {estimate.min_time:,.0f}, "
@@ -97,9 +102,14 @@ def oliveto_witt() -> None:
     print(f"\nOliveto–Witt instance of Lemma 3.1 at n = {n:,}:")
     print(f"  drift ε = √(log n / n) = {bound.drift:.2e}")
     print(f"  interval ℓ = 20·132·√(n log n) = {bound.interval_length:,.0f}")
-    print(f"  exponent εℓ/(132 r²) = {bound.exponent:.2f} = 4·ln n = {4 * math.log(n):.2f}")
-    print(f"  → u(t) stays below its ceiling for ≥ n⁴ steps w.p. 1 − O(n⁻⁴): "
-          f"{bound.survives_at_least(n**4)}")
+    print(
+        f"  exponent εℓ/(132 r²) = {bound.exponent:.2f} "
+        f"= 4·ln n = {4 * math.log(n):.2f}"
+    )
+    print(
+        f"  → u(t) stays below its ceiling for ≥ n⁴ steps w.p. 1 − O(n⁻⁴): "
+        f"{bound.survives_at_least(n**4)}"
+    )
 
 
 def main() -> None:

@@ -57,12 +57,17 @@ def main() -> None:
         for law, fit in comparison.fits.items():
             row[f"fit[{law}]"] = fit.slope * law_value(law, n, k, bias)
 
-    print(format_table(rows, title=f"USD stabilization scaling at n={n}, bias={bias}"))
+    print(
+        format_table(rows, title=f"USD stabilization scaling at n={n}, bias={bias}")
+    )
     print()
     for law, fit in sorted(comparison.fits.items()):
         print(f"{law:>12}: constant {fit.slope:8.3f}, R² = {fit.r_squared:7.4f}")
     print(f"\nbest law: {comparison.best_law}")
-    print(f"sandwich (explicit LB ≤ measured, O(k log n) shape): {comparison.sandwich_ok}")
+    print(
+        f"sandwich (explicit LB ≤ measured, O(k log n) shape): "
+        f"{comparison.sandwich_ok}"
+    )
 
 
 if __name__ == "__main__":

@@ -18,7 +18,10 @@ def main() -> None:
     bias = paper_bias(n)
     initial = Configuration.equal_minorities_with_bias(n=n, k=k, bias=bias)
     print(f"initial configuration: {initial}")
-    print(f"bias = {bias} = ⌈√(n ln n)⌉, plurality = opinion {initial.plurality_winner()}")
+    print(
+        f"bias = {bias} = ⌈√(n ln n)⌉, "
+        f"plurality = opinion {initial.plurality_winner()}"
+    )
 
     protocol = UndecidedStateDynamics(k=k)
     result = simulate(

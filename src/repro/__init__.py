@@ -79,6 +79,7 @@ from .core import (
     CountsEngine,
     GraphPairScheduler,
     OpinionProtocol,
+    PersistentTrajectoryRecorder,
     PopulationProtocol,
     RunResult,
     Trace,
@@ -135,6 +136,7 @@ __all__ = [
     "CountsEngine",
     "GraphPairScheduler",
     "OpinionProtocol",
+    "PersistentTrajectoryRecorder",
     "PopulationProtocol",
     "RunResult",
     "Trace",

@@ -16,7 +16,7 @@ exact, not an approximation).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, Sequence
 
 import numpy as np
 

@@ -15,13 +15,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Any, Dict, Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from ..core.configuration import Configuration
-from ..core.run import simulate
+from ..core.run import resolve_engine_name, simulate
 from ..errors import ExperimentError
+from ..io.streaming import load_manifest, persisted_run_matches
 from ..parallel import run_ensemble
 from ..protocols.usd import UndecidedStateDynamics
 from ..types import SeedLike
@@ -112,13 +114,45 @@ def _stabilization_task(
     backend: Optional[str],
     max_parallel_time: float,
     snapshot_every: Optional[int],
+    persist_to: Optional[str] = None,
 ) -> Optional[Tuple[float, int]]:
     """One ensemble member: ``(parallel_time, winner)``, or ``None`` if censored.
 
     Module-level so it pickles across process boundaries; the protocol is
     rebuilt in the worker (it is stateless and cheap to construct).
+
+    With ``persist_to`` set the run streams its trajectory to
+    ``<persist_to>/run-XXXX``, and a directory already holding a
+    complete matching stream answers from its manifest summary without
+    re-simulating (the summary was computed from the identical run).
     """
     protocol = UndecidedStateDynamics(k=initial.k)
+    run_dir = None if persist_to is None else Path(persist_to) / f"run-{index:04d}"
+    if run_dir is not None:
+        n = initial.n
+        expect = {
+            "protocol": protocol.name,
+            "n": n,
+            "seed": run_seed,
+            "engine": resolve_engine_name(engine, n),
+            "snapshot_every": snapshot_every
+            if snapshot_every is not None
+            else max(1, n // 2),
+            "max_interactions": int(round(max_parallel_time * n)),
+            # the exact initial state counts: a changed k/bias/initial
+            # condition can never be answered from a stale stream
+            "initial_counts": [
+                int(c) for c in protocol.encode_configuration(initial)
+            ],
+        }
+        if persisted_run_matches(run_dir, expect):
+            summary = load_manifest(run_dir)["summary"]
+            stab = summary["stabilization_interactions"]
+            if summary["stabilized"] and stab is not None:
+                winner = summary["winner"]
+                winner = winner if winner is not None else UNDETERMINED_WINNER
+                return stab / n, winner
+            return None
     result = simulate(
         protocol,
         initial,
@@ -127,6 +161,7 @@ def _stabilization_task(
         seed=run_seed,
         max_parallel_time=max_parallel_time,
         snapshot_every=snapshot_every,
+        persist_to=run_dir,
     )
     if result.stabilized and result.stabilization_parallel_time is not None:
         winner = result.winner if result.winner is not None else UNDETERMINED_WINNER
@@ -145,6 +180,7 @@ def usd_stabilization_ensemble(
     snapshot_every: Optional[int] = None,
     workers: Optional[int] = 0,
     chunk_size: Optional[int] = None,
+    persist_to: Optional[Union[str, Path]] = None,
     extra_params: Optional[Dict[str, Any]] = None,
 ) -> StabilizationEnsemble:
     """Run USD from ``initial`` under ``num_seeds`` independent seeds.
@@ -154,6 +190,13 @@ def usd_stabilization_ensemble(
     ``workers > 0`` (or ``None`` for all CPUs) the runs execute on a
     process pool; the aggregate results are bit-identical to
     ``workers=0`` for the same root seed.
+
+    ``persist_to=DIR`` streams every member's trajectory to
+    ``DIR/run-XXXX`` while it runs (spill-to-disk, memory-bounded) and
+    turns the call *resumable*: members whose directory already holds a
+    complete matching stream are answered from the manifest summary
+    instead of re-simulated, so a large-n ensemble interrupted halfway
+    only pays for the missing runs when repeated.
     """
     if num_seeds < 1:
         raise ExperimentError(f"num_seeds must be >= 1, got {num_seeds}")
@@ -164,6 +207,7 @@ def usd_stabilization_ensemble(
         backend=backend,
         max_parallel_time=max_parallel_time,
         snapshot_every=snapshot_every,
+        persist_to=None if persist_to is None else str(persist_to),
     )
     outcomes = run_ensemble(
         task, num_seeds, seed=seed, workers=workers, chunk_size=chunk_size
@@ -181,6 +225,7 @@ def usd_stabilization_ensemble(
         "num_seeds": num_seeds,
         "root_seed": seed if isinstance(seed, int) else None,
         "workers": workers,
+        "persist_to": None if persist_to is None else str(persist_to),
         **(extra_params or {}),
     }
     return StabilizationEnsemble(

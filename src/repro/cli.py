@@ -4,14 +4,22 @@ Subcommands
 -----------
 ``repro list``
     Show every registered experiment id with its title.
-``repro run <id> [--set name=value ...] [--out DIR] [--no-plots] [--workers N] [--backend B]``
+``repro run <id> [--set name=value ...] [--out DIR] [--no-plots] [--workers N] [--backend B] [--persist DIR]``
     Run one experiment (or ``all``) and print its report; optionally
     persist rows/series under ``--out``.  ``--workers`` fans ensemble
-    experiments out over N processes and ``--backend`` picks the
-    compute-kernel backend (bit-identical results either way).
+    experiments out over N processes, ``--backend`` picks the
+    compute-kernel backend (bit-identical results either way) and
+    ``--persist`` streams member trajectories to spill-to-disk run
+    directories that later invocations resume from.
 ``repro backends``
     List the registered compute-kernel backends, their availability on
     this machine and the default.
+``repro trace info <RUN_DIR>``
+    Show a streamed run directory's manifest: provenance, chunk index,
+    completeness, post-run summary.
+``repro trace export <RUN_DIR> --to FILE.npz [--every N] [--start T] [--stop T]``
+    Materialize a streamed run (optionally windowed / downsampled) into
+    a single ``.npz`` trace readable with ``repro.io.load_trace``.
 ``repro fig1 [--full] [--panel left|right]``
     Shortcut for the Figure 1 reproduction (``--full`` uses the paper's
     n = 10⁶ instead of the default 10⁵).
@@ -96,9 +104,62 @@ def build_parser() -> argparse.ArgumentParser:
             "bit-identical for every backend"
         ),
     )
+    run.add_argument(
+        "--persist",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "stream member trajectories to run directories under DIR "
+            "(spill-to-disk, memory-bounded); complete runs already on "
+            "disk are resumed instead of re-simulated"
+        ),
+    )
 
     commands.add_parser(
         "backends", help="list compute-kernel backends and their availability"
+    )
+
+    trace = commands.add_parser(
+        "trace", help="inspect / export streamed (persist_to) run directories"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    info = trace_commands.add_parser(
+        "info", help="show a streamed run's manifest: provenance, chunks, summary"
+    )
+    info.add_argument("run_dir", type=Path, help="run directory with manifest.json")
+    export = trace_commands.add_parser(
+        "export",
+        help="materialize a streamed run into a single .npz Trace file",
+    )
+    export.add_argument("run_dir", type=Path, help="run directory with manifest.json")
+    export.add_argument(
+        "--to",
+        type=Path,
+        required=True,
+        metavar="FILE.npz",
+        help="output path (readable with repro.io.load_trace)",
+    )
+    export.add_argument(
+        "--every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="keep every N-th snapshot (downsampling; default 1 = all)",
+    )
+    export.add_argument(
+        "--start",
+        type=float,
+        default=None,
+        metavar="T",
+        help="keep snapshots from interaction time T on",
+    )
+    export.add_argument(
+        "--stop",
+        type=float,
+        default=None,
+        metavar="T",
+        help="keep snapshots up to interaction time T",
     )
 
     fig1 = commands.add_parser("fig1", help="reproduce Figure 1")
@@ -171,6 +232,16 @@ def build_parser() -> argparse.ArgumentParser:
                 help=(
                     "compute-kernel backend the grid points run on "
                     "(bit-identical for every backend; see 'repro backends')"
+                ),
+            )
+            sub.add_argument(
+                "--persist",
+                type=Path,
+                default=None,
+                metavar="DIR",
+                help=(
+                    "stream member trajectories to run directories under "
+                    "DIR; complete runs on disk are resumed, not re-run"
                 ),
             )
 
@@ -270,6 +341,8 @@ def _run_sweep_command(args: Any) -> None:
             overrides["workers"] = args.workers
         if args.backend is not None:
             overrides["backend"] = args.backend
+        if args.persist is not None:
+            overrides["persist"] = args.persist
         result = experiment_cls(**overrides).run()
         if result.rows:
             print(render_result(result, plots=False))
@@ -304,6 +377,54 @@ def _run_sweep_command(args: Any) -> None:
             print("complete — ready to 'repro sweep merge'")
 
 
+def _run_trace_command(args: Any) -> None:
+    from .io.streaming import StreamedTrace
+
+    stream = StreamedTrace(args.run_dir)
+    if args.trace_command == "info":
+        info = stream.run_info
+        status = "complete" if stream.complete else "INCOMPLETE (crashed or live)"
+        print(f"streamed trace {args.run_dir}  [{status}]")
+        for key in ("protocol", "n", "seed", "engine", "backend"):
+            print(f"  {key:<16} {info.get(key)}")
+        print(f"  {'snapshot_every':<16} {info.get('snapshot_every')} interactions")
+        print(f"  {'max_interactions':<16} {info.get('max_interactions')}")
+        print(f"  {'snapshots':<16} {len(stream)}")
+        chunk_size = stream.manifest.get("chunk_snapshots")
+        print(f"  {'chunks':<16} {stream.num_chunks} (<= {chunk_size} snapshots each)")
+        if len(stream):
+            times = stream.times
+            n = info.get("n")
+            span = f"{times[0]} .. {times[-1]}"
+            if n:
+                span += f"  ({times[0] / n:.1f} .. {times[-1] / n:.1f} parallel time)"
+            print(f"  {'time span':<16} {span}")
+        summary = stream.summary
+        if summary is not None:
+            print("  summary:")
+            for key in (
+                "interactions",
+                "parallel_time",
+                "stabilized",
+                "stabilization_interactions",
+                "winner",
+            ):
+                print(f"    {key:<26} {summary.get(key)}")
+    else:  # export
+        if args.every < 1:
+            raise ReproError(f"--every must be >= 1, got {args.every}")
+        start = float("-inf") if args.start is None else args.start
+        stop = float("inf") if args.stop is None else args.stop
+        trace = stream.time_slice(start, stop, every=args.every)
+        from .io.serialization import save_trace
+
+        save_trace(trace, args.to)
+        print(
+            f"wrote {args.to} ({len(trace)} of {len(stream)} snapshots, "
+            f"every {args.every})"
+        )
+
+
 def _print_certificate(n: float, k: float, bias: Optional[float]) -> None:
     from .io.tables import format_table
     from .theory.certificate import certify_lower_bound
@@ -315,9 +436,8 @@ def _print_certificate(n: float, k: float, bias: Optional[float]) -> None:
     )
     print(f"regime ratio k·log n/√n = {certificate.regime_ratio:.4f} (needs ≪ 1)")
     print(f"Lemma 3.1 ceiling on u(t): {certificate.u_ceiling:,.0f} (+ slack)")
-    print(
-        f"Lemma 3.3 walk condition: {'holds' if certificate.lemma33_condition else 'FAILS'}"
-    )
+    walk_verdict = "holds" if certificate.lemma33_condition else "FAILS"
+    print(f"Lemma 3.3 walk condition: {walk_verdict}")
     print()
     print(format_table(certificate.rows(), title="induction epochs"))
     print()
@@ -347,6 +467,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 overrides["workers"] = args.workers
             if args.backend is not None:
                 overrides["backend"] = args.backend
+            if args.persist is not None:
+                overrides["persist"] = args.persist
             if args.experiment_id == "all":
                 for experiment_id in sorted(EXPERIMENTS):
                     print(f"=== {experiment_id} ===")
@@ -368,6 +490,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print()
         elif args.command == "sweep":
             _run_sweep_command(args)
+        elif args.command == "trace":
+            _run_trace_command(args)
         elif args.command == "certify":
             _print_certificate(args.n, args.k, args.bias)
     except ReproError as error:

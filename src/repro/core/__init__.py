@@ -7,7 +7,8 @@ from .configuration import Configuration
 from .counts_engine import CountsEngine
 from .engine import BaseEngine
 from .kernels import KernelInputs, available_backends, default_backend, get_backend
-from .protocol import OpinionProtocol, PopulationProtocol
+from .persistent_recorder import PersistentTrajectoryRecorder
+from .protocol import OpinionProtocol, PopulationProtocol, default_undecided_index
 from .recorder import Trace, TrajectoryRecorder
 from .run import AUTO_ENGINE_COUNTS_LIMIT, RunResult, make_engine, simulate
 from .scheduler import GraphPairScheduler, PairScheduler, UniformPairScheduler
@@ -25,6 +26,7 @@ __all__ = [
     "GraphPairScheduler",
     "OpinionProtocol",
     "PairScheduler",
+    "PersistentTrajectoryRecorder",
     "PopulationProtocol",
     "RunResult",
     "Trace",
@@ -34,6 +36,7 @@ __all__ = [
     "AUTO_ENGINE_COUNTS_LIMIT",
     "available_backends",
     "default_backend",
+    "default_undecided_index",
     "get_backend",
     "kernels",
     "make_engine",

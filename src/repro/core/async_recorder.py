@@ -6,8 +6,10 @@ processing runs on a background worker thread.  The simulation thread
 only captures the raw snapshot (interaction index + a counts copy —
 unavoidable, since the engine mutates its buffer in place) and appends
 it to the active half of a double buffer; the worker swaps buffers and
-does everything downstream — deduplication, accumulation and (future)
-persistence — while the engine is already simulating the next chunk.
+does everything downstream — deduplication, accumulation and, in the
+:class:`~repro.core.persistent_recorder.PersistentTrajectoryRecorder`
+subclass, spill-to-disk persistence — while the engine is already
+simulating the next chunk.
 
 The recorded trajectory is *identical* to the synchronous recorder's
 for the same run (``tests/test_async_recorder.py``): snapshots are
@@ -52,6 +54,9 @@ class AsyncTrajectoryRecorder(TrajectoryRecorder):
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._drained = threading.Condition(self._lock)
+        # serializes close(): the whole drain-join-finalize sequence must
+        # run exactly once even under concurrent close() calls
+        self._close_lock = threading.Lock()
         self._closing = False
         self._closed = False
         self._failure: Optional[BaseException] = None
@@ -119,15 +124,38 @@ class AsyncTrajectoryRecorder(TrajectoryRecorder):
             self._raise_failure()
 
     def close(self) -> None:
-        """Drain outstanding snapshots and stop the worker (idempotent)."""
-        with self._wakeup:
+        """Drain outstanding snapshots and stop the worker.
+
+        Idempotent and thread-safe: concurrent ``close()`` calls
+        serialize on a dedicated lock, so the drain → join → finalize
+        sequence runs exactly once and ``_closed`` only becomes true
+        after the worker has fully stopped (a ``record()`` racing close
+        is rejected by the ``_closing`` flag, which is set under the
+        same lock ``record`` checks it under).  Late callers block
+        until the first close finishes, then return.
+        """
+        with self._close_lock:
             if self._closed:
                 return
-            self._closing = True
-            self._wakeup.notify()
-        self._worker.join()
-        self._closed = True
+            with self._wakeup:
+                self._closing = True
+                self._wakeup.notify()
+            self._worker.join()
+            try:
+                if self._failure is None:
+                    self._finalize_close()
+            finally:
+                with self._wakeup:
+                    self._closed = True
         self._raise_failure()
+
+    def _finalize_close(self) -> None:
+        """Post-drain hook for subclasses (worker already joined).
+
+        Runs exactly once, on the closing thread, only for clean
+        shutdowns — a failed worker skips it so subclasses never
+        finalize on top of a half-ingested stream.
+        """
 
     def _raise_failure(self) -> None:
         # the failure stays sticky: the worker is dead, so every later

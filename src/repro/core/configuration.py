@@ -94,7 +94,9 @@ class Configuration:
         if k <= 0:
             raise ConfigurationError(f"k must be positive, got {k}")
         if n < k:
-            raise ConfigurationError(f"need n >= k to give every opinion an agent ({n=}, {k=})")
+            raise ConfigurationError(
+                f"need n >= k to give every opinion an agent ({n=}, {k=})"
+            )
         base, extra = divmod(n, k)
         counts = np.full(k, base, dtype=np.int64)
         counts[:extra] += 1

@@ -176,7 +176,9 @@ class BaseEngine(abc.ABC):
     def step(self, num: int = 1) -> None:
         """Execute exactly ``num`` further interactions."""
         if num < 0:
-            raise SimulationError(f"cannot step a negative number ({num}) of interactions")
+            raise SimulationError(
+                f"cannot step a negative number ({num}) of interactions"
+            )
         if num == 0:
             return
         if self._absorbed:
@@ -195,7 +197,8 @@ class BaseEngine(abc.ABC):
         stop: Optional[StopPredicate] = None,
         snapshot_every: Optional[int] = None,
         recorder: Optional["TrajectoryRecorder"] = None,
-    ) -> None:
+        persist_to: Optional[object] = None,
+    ) -> Optional["TrajectoryRecorder"]:
         """Advance until ``max_interactions``, absorption, or ``stop`` fires.
 
         ``snapshot_every`` controls both the recording cadence and the
@@ -207,6 +210,14 @@ class BaseEngine(abc.ABC):
         already true at entry — or a configuration that is already
         absorbed — executes zero interactions instead of silently
         burning a whole chunk and inflating measured hitting times.
+
+        ``persist_to=DIR`` (mutually exclusive with ``recorder``)
+        streams snapshots to a run directory through a
+        :class:`~repro.core.persistent_recorder.PersistentTrajectoryRecorder`
+        owned by this call (closed before returning); the closed
+        recorder is returned so the caller can inspect the run
+        directory, and the full trajectory is read back with
+        :class:`~repro.io.streaming.StreamedTrace`.
         """
         if max_interactions < self._interactions:
             raise SimulationError(
@@ -216,16 +227,54 @@ class BaseEngine(abc.ABC):
         chunk = snapshot_every if snapshot_every is not None else max(1, self._n // 2)
         if chunk < 1:
             raise SimulationError(f"snapshot_every must be >= 1, got {chunk}")
-        if recorder is not None and self._interactions == 0:
-            recorder.record(self)
-        while self._interactions < max_interactions:
-            if self._absorbed:
-                break
-            if stop is not None and stop(self):
-                break
-            self.step(min(chunk, max_interactions - self._interactions))
+        owned_recorder = None
+        if persist_to is not None:
             if recorder is not None:
+                raise SimulationError(
+                    "pass either recorder= or persist_to=, not both"
+                )
+            from .persistent_recorder import PersistentTrajectoryRecorder
+            from .protocol import default_undecided_index
+
+            owned_recorder = recorder = PersistentTrajectoryRecorder(
+                persist_to,
+                run_info={
+                    "protocol": self._protocol.name,
+                    "n": self._n,
+                    "seed": None,
+                    "engine": self.engine_name,
+                    "backend": self.backend,
+                    "snapshot_every": chunk,
+                    "max_interactions": max_interactions,
+                    "state_names": list(self._protocol.state_names()),
+                    "undecided_index": default_undecided_index(self._protocol),
+                    "metadata": {},
+                },
+            )
+        try:
+            if recorder is not None and self._interactions == 0:
                 recorder.record(self)
+            while self._interactions < max_interactions:
+                if self._absorbed:
+                    break
+                if stop is not None and stop(self):
+                    break
+                self.step(min(chunk, max_interactions - self._interactions))
+                if recorder is not None:
+                    recorder.record(self)
+        except BaseException:
+            if owned_recorder is not None:
+                try:
+                    # keep the spilled data, but do not certify the
+                    # stream of a run that died mid-flight
+                    owned_recorder.abandon()
+                except Exception:
+                    pass  # the original error is the one to surface
+            raise
+        else:
+            if owned_recorder is not None:
+                owned_recorder.close()
+        return owned_recorder
 
     def __repr__(self) -> str:
         return (

@@ -20,7 +20,7 @@ from ..errors import ProtocolError
 from ..types import StatePair
 from .configuration import Configuration
 
-__all__ = ["PopulationProtocol", "OpinionProtocol"]
+__all__ = ["PopulationProtocol", "OpinionProtocol", "default_undecided_index"]
 
 
 class PopulationProtocol(abc.ABC):
@@ -163,3 +163,16 @@ class OpinionProtocol(PopulationProtocol):
         """Slice per-opinion counts out of a raw state-count vector."""
         arr = np.asarray(counts)
         return arr[self.num_bookkeeping_states :]
+
+
+def default_undecided_index(protocol: PopulationProtocol) -> Optional[int]:
+    """Index of the undecided state in ``protocol``'s count vector.
+
+    ``0`` for opinion protocols with the standard ``[⊥, opinions...]``
+    layout (one bookkeeping state), ``None`` otherwise — the rule
+    :func:`repro.core.run.simulate` has always applied when stamping
+    traces, shared here so streamed-trace manifests agree with it.
+    """
+    if isinstance(protocol, OpinionProtocol) and protocol.num_bookkeeping_states == 1:
+        return 0
+    return None

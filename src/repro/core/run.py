@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 import numpy as np
@@ -31,11 +32,17 @@ from .batch_engine import BatchEngine
 from .configuration import Configuration
 from .counts_engine import CountsEngine
 from .engine import BaseEngine
-from .protocol import OpinionProtocol, PopulationProtocol
+from .persistent_recorder import PersistentTrajectoryRecorder
+from .protocol import OpinionProtocol, PopulationProtocol, default_undecided_index
 from .recorder import Trace, TrajectoryRecorder
-from . import stopping
 
-__all__ = ["RunResult", "make_engine", "simulate", "AUTO_ENGINE_COUNTS_LIMIT"]
+__all__ = [
+    "RunResult",
+    "make_engine",
+    "resolve_engine_name",
+    "simulate",
+    "AUTO_ENGINE_COUNTS_LIMIT",
+]
 
 #: Populations up to this size default to the exact counts engine; larger
 #: ones use τ-leaping.  Chosen so the default stays exact whenever exact
@@ -57,7 +64,9 @@ class RunResult:
     ----------
     trace:
         Recorded trajectory (always contains at least the initial and
-        final snapshots).
+        final snapshots).  For ``persist_to=`` runs this is only the
+        retained tail window — the full trajectory streams to disk and
+        is read back with :meth:`streamed_trace`.
     final_counts:
         State counts when the run ended.
     interactions:
@@ -80,6 +89,8 @@ class RunResult:
         Wall-clock duration of the run loop.
     metadata:
         Provenance (seed, protocol, engine parameters).
+    persist_dir:
+        Run directory of a ``persist_to=`` run, else ``None``.
     """
 
     trace: Trace
@@ -92,6 +103,22 @@ class RunResult:
     engine_name: str
     wall_seconds: float
     metadata: Dict[str, Any] = field(default_factory=dict)
+    persist_dir: Optional[Path] = None
+
+    def streamed_trace(self):
+        """Open the on-disk stream of a ``persist_to=`` run.
+
+        Returns a :class:`~repro.io.streaming.StreamedTrace` over the
+        full trajectory (``trace`` holds only the retained tail window
+        for persisted runs).
+        """
+        if self.persist_dir is None:
+            raise SimulationError(
+                "this run was not persisted; pass persist_to= to simulate"
+            )
+        from ..io.streaming import StreamedTrace
+
+        return StreamedTrace(self.persist_dir)
 
     @property
     def stabilization_parallel_time(self) -> Optional[float]:
@@ -133,8 +160,7 @@ def make_engine(
     else:
         counts = np.asarray(initial)
     n = int(np.sum(counts))
-    if engine == "auto":
-        engine = "counts" if n <= AUTO_ENGINE_COUNTS_LIMIT else "batch"
+    engine = resolve_engine_name(engine, n)
     try:
         engine_cls = _ENGINES[engine]
     except KeyError:
@@ -142,6 +168,18 @@ def make_engine(
             f"unknown engine {engine!r}; choose from {sorted(_ENGINES)} or 'auto'"
         ) from None
     return engine_cls(protocol, counts, seed=seed, backend=backend, **engine_kwargs)
+
+
+def resolve_engine_name(engine: str, n: int) -> str:
+    """The engine name ``'auto'`` resolves to at population size ``n``.
+
+    Shared with the persisted-run resume guards, which must predict the
+    engine a fresh ``simulate`` call would pick before trusting a
+    streamed run recorded under that name.
+    """
+    if engine == "auto":
+        return "counts" if n <= AUTO_ENGINE_COUNTS_LIMIT else "batch"
+    return engine
 
 
 def simulate(
@@ -157,6 +195,9 @@ def simulate(
     stop: Optional[StopPredicate] = None,
     stop_when_stable: bool = True,
     record_async: bool = False,
+    persist_to: Optional[Union[str, Path]] = None,
+    persist_chunk_snapshots: Optional[int] = None,
+    persist_window: Optional[int] = None,
     metadata: Optional[Dict[str, Any]] = None,
     **engine_kwargs: Any,
 ) -> RunResult:
@@ -174,6 +215,15 @@ def simulate(
     worker thread (:class:`AsyncTrajectoryRecorder`) so recording
     overlaps simulation at large n; the recorded trajectory is
     identical either way.
+
+    ``persist_to=DIR`` streams the trajectory to disk while the run is
+    in flight (implies asynchronous recording: chunks are written from
+    the worker thread and never block the engine).  Memory then holds
+    at most ``persist_chunk_snapshots`` buffered plus ``persist_window``
+    tail snapshots; the result's ``trace`` is the tail window, its
+    ``streamed_trace()`` the full on-disk trajectory, whose
+    ``materialize()`` is bit-identical to an in-memory recording of the
+    same run.
     """
     eng = make_engine(
         protocol, initial, engine=engine, seed=seed, backend=backend, **engine_kwargs
@@ -193,7 +243,51 @@ def simulate(
     # Absorption always halts the loop (nothing can change afterwards);
     # stop_when_stable only controls whether we *report* it as intended.
 
-    recorder = AsyncTrajectoryRecorder() if record_async else TrajectoryRecorder()
+    undecided_index = default_undecided_index(protocol)
+    meta = {
+        "engine": eng.engine_name,
+        "backend": eng.backend,
+        "protocol": protocol.name,
+        "n": eng.n,
+        **(metadata or {}),
+    }
+
+    recorder: TrajectoryRecorder
+    if persist_to is not None:
+        persist_kwargs: Dict[str, Any] = {}
+        if persist_chunk_snapshots is not None:
+            persist_kwargs["chunk_snapshots"] = persist_chunk_snapshots
+        if persist_window is not None:
+            persist_kwargs["window_snapshots"] = persist_window
+        recorder = PersistentTrajectoryRecorder(
+            persist_to,
+            run_info={
+                "protocol": protocol.name,
+                "n": eng.n,
+                "seed": _jsonable_seed(seed),
+                "engine": eng.engine_name,
+                "backend": eng.backend,
+                "snapshot_every": snapshot_every
+                if snapshot_every is not None
+                else max(1, eng.n // 2),
+                "max_interactions": max_interactions,
+                # the engine has not stepped yet: these are the initial
+                # state counts, and (with the protocol name) identify
+                # the workload exactly — resume guards match on them so
+                # a changed k/bias/initial condition can never be
+                # answered from a stale stream
+                "initial_counts": [int(c) for c in eng.counts],
+                "state_names": list(protocol.state_names()),
+                "undecided_index": undecided_index,
+                "metadata": meta,
+            },
+            **persist_kwargs,
+        )
+    elif record_async:
+        recorder = AsyncTrajectoryRecorder()
+    else:
+        recorder = TrajectoryRecorder()
+
     started = time.perf_counter()
     try:
         eng.run(
@@ -202,24 +296,26 @@ def simulate(
             snapshot_every=snapshot_every,
             recorder=recorder,
         )
-    finally:
+    except BaseException:
+        # an aborted run (engine error, KeyboardInterrupt) must not
+        # certify its stream: keep the spilled snapshots but leave the
+        # manifest incomplete, exactly like a killed process
+        if isinstance(recorder, PersistentTrajectoryRecorder):
+            try:
+                recorder.abandon()
+            except Exception:
+                pass  # the original error is the one to surface
+        elif isinstance(recorder, AsyncTrajectoryRecorder):
+            try:
+                recorder.close()
+            except Exception:
+                pass
+        raise
+    else:
         if isinstance(recorder, AsyncTrajectoryRecorder):
             recorder.close()
     elapsed = time.perf_counter() - started
 
-    undecided_index: Optional[int] = None
-    if isinstance(protocol, OpinionProtocol) and protocol.num_bookkeeping_states == 1:
-        undecided_index = 0
-    elif isinstance(protocol, OpinionProtocol) and protocol.num_bookkeeping_states == 0:
-        undecided_index = None
-
-    meta = {
-        "engine": eng.engine_name,
-        "backend": eng.backend,
-        "protocol": protocol.name,
-        "n": eng.n,
-        **(metadata or {}),
-    }
     trace = recorder.build(
         n=eng.n,
         state_names=protocol.state_names(),
@@ -235,6 +331,21 @@ def simulate(
 
     winner = _winner_of(protocol, eng.counts) if stabilized_flag else None
 
+    persist_dir: Optional[Path] = None
+    if isinstance(recorder, PersistentTrajectoryRecorder):
+        persist_dir = recorder.directory
+        recorder.record_summary(
+            {
+                "interactions": eng.interactions,
+                "parallel_time": eng.parallel_time,
+                "stabilized": stabilized_flag,
+                "stabilization_interactions": stabilization,
+                "winner": winner,
+                "final_counts": [int(c) for c in eng.counts],
+                "wall_seconds": elapsed,
+            }
+        )
+
     return RunResult(
         trace=trace,
         final_counts=eng.counts,
@@ -246,7 +357,15 @@ def simulate(
         engine_name=eng.engine_name,
         wall_seconds=elapsed,
         metadata=meta,
+        persist_dir=persist_dir,
     )
+
+
+def _jsonable_seed(seed: SeedLike) -> Union[int, str, None]:
+    """Seed provenance for manifests: exact for ints, best-effort otherwise."""
+    if seed is None or isinstance(seed, int):
+        return seed
+    return repr(seed)
 
 
 def _winner_of(

@@ -13,7 +13,7 @@ import abc
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 import numpy as np
 
@@ -109,7 +109,12 @@ class Experiment(abc.ABC):
     drive the sharded sweep layer (:mod:`repro.sweep`) for experiments
     that are grid sweeps (:class:`SweepExperiment`); the rest accept
     and ignore them, so the registry and CLI can thread them
-    universally.
+    universally.  ``persist`` names a directory for spill-to-disk
+    trajectory streaming (``simulate(..., persist_to=...)``) on
+    experiments that record member trajectories — a persisted member
+    whose streamed trace is already complete on disk is *resumed* from
+    it instead of re-simulated; experiments without trajectory
+    recording accept and ignore it.
     """
 
     #: Registry id; subclasses override.
@@ -127,6 +132,7 @@ class Experiment(abc.ABC):
         "shard": None,
         "resume": False,
         "out": None,
+        "persist": None,
     }
 
     def __init__(self, **overrides: Any):

@@ -21,20 +21,29 @@ finish and resume (``shard``/``resume``/``out``, ``repro sweep
 run/merge``); each checkpoint row carries the member's summary *and*
 its u(t) polyline (downsampled to ≤ :data:`MAX_TRACE_SAMPLES` vertices)
 so :meth:`finalize` can rebuild the ensemble band from rows alone.
+
+With the global ``persist`` parameter (CLI: ``--persist DIR``) each
+member additionally streams its full trajectory to
+``DIR/member-XXXX`` (spill-to-disk, memory-bounded); members whose
+streamed run is already complete on disk are rebuilt from it instead
+of re-simulated — bit-identical rows either way.
 """
 
 from __future__ import annotations
 
 import math
 from functools import partial
-from typing import Any, Dict, List, Optional
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
 from ..analysis.ensembles import ensemble_band_from_series
 from ..analysis.stabilization import UNDETERMINED_WINNER
 from ..analysis.trajectories import doubling_time
-from ..core.run import simulate
+from ..core.recorder import Trace
+from ..core.run import resolve_engine_name, simulate
+from ..io.streaming import StreamedTrace, persisted_run_matches
 from ..protocols.usd import UndecidedStateDynamics
 from ..sweep import SweepPlan
 from ..theory.bounds import paper_k_schedule
@@ -67,6 +76,10 @@ def _downsample(times: np.ndarray, values: np.ndarray):
     return times[picks], values[picks]
 
 
+def _member_run_dir(persist: Union[str, Path], member: int) -> Path:
+    return Path(persist) / f"member-{member:04d}"
+
+
 def _figure1_member(
     point: SweepPoint,
     point_seed: int,
@@ -74,41 +87,93 @@ def _figure1_member(
     engine: str,
     backend: Optional[str],
     max_parallel_time: float,
+    persist: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """One ensemble member (module-level so it pickles across workers)."""
+    """One ensemble member (module-level so it pickles across workers).
+
+    With ``persist`` set, the member's trajectory streams to
+    ``<persist>/member-XXXX`` while it runs; if that directory already
+    holds a *complete* streamed run of the same (protocol, n, seed,
+    engine, cadence, horizon), the member is rebuilt from disk instead
+    of re-simulated — the row is identical either way, because the
+    materialized stream is bit-identical to the in-memory trace.
+    """
     protocol = UndecidedStateDynamics(k=point.k)
-    config = paper_initial_configuration(point.n, point.k, point.bias)
-    result = simulate(
-        protocol,
-        config,
-        engine=engine,
-        backend=backend,
-        seed=point_seed,
-        max_parallel_time=max_parallel_time,
-        snapshot_every=max(1, point.n // 10),
-    )
+    member = point.extras["member"]
+    snapshot_every = max(1, point.n // 10)
     row: Dict[str, Any] = {
         "n": point.n,
         "k": point.k,
         "bias": point.bias,
-        "member": point.extras["member"],
+        "member": member,
         "point_seed": point_seed,
-        "stabilized": bool(result.stabilized),
-        "stab_parallel_time": result.stabilization_parallel_time,
+        "persist": None if persist is None else _member_run_dir(persist, member).name,
+        "stabilized": False,
+        "stab_parallel_time": None,
         "winner": None,
         "doubling_parallel_time": None,
         "trace_parallel_times": None,
         "trace_undecided": None,
     }
-    if not result.stabilized:
+
+    stabilized: bool
+    stab_interactions: Optional[int]
+    winner: Optional[int]
+    trace: Optional[Trace]
+
+    run_dir = None if persist is None else _member_run_dir(persist, member)
+    config = paper_initial_configuration(point.n, point.k, point.bias)
+    expect = {
+        "protocol": protocol.name,
+        "n": point.n,
+        "seed": point_seed,
+        "engine": resolve_engine_name(engine, point.n),
+        "snapshot_every": snapshot_every,
+        "max_interactions": int(round(max_parallel_time * point.n)),
+        # the exact initial state counts: a changed k/bias can never be
+        # answered from a stale stream
+        "initial_counts": [int(c) for c in protocol.encode_configuration(config)],
+    }
+    if run_dir is not None and persisted_run_matches(run_dir, expect):
+        streamed = StreamedTrace(run_dir)
+        summary = streamed.summary or {}
+        stabilized = bool(summary.get("stabilized"))
+        stab_interactions = summary.get("stabilization_interactions")
+        winner = summary.get("winner")
+        trace = streamed.materialize() if stabilized else None
+    else:
+        result = simulate(
+            protocol,
+            config,
+            engine=engine,
+            backend=backend,
+            seed=point_seed,
+            max_parallel_time=max_parallel_time,
+            snapshot_every=snapshot_every,
+            persist_to=run_dir,
+        )
+        stabilized = bool(result.stabilized)
+        stab_interactions = result.stabilization_interactions
+        winner = result.winner
+        if run_dir is None:
+            trace = result.trace
+        else:
+            # the in-memory trace is only the tail window — rebuild the
+            # full trajectory from the stream just written
+            trace = result.streamed_trace().materialize() if stabilized else None
+
+    if not stabilized:
         return row
-    winner = result.winner if result.winner is not None else UNDETERMINED_WINNER
-    row["winner"] = winner
-    if winner == 1:
-        row["doubling_parallel_time"] = doubling_time(result.trace, opinion=1)
+    row["stabilized"] = True
+    row["stab_parallel_time"] = (
+        None if stab_interactions is None else stab_interactions / point.n
+    )
+    row["winner"] = winner if winner is not None else UNDETERMINED_WINNER
+    if row["winner"] == 1:
+        row["doubling_parallel_time"] = doubling_time(trace, opinion=1)
     picks_t, picks_u = _downsample(
-        result.trace.parallel_times.astype(float),
-        result.trace.undecided_series().astype(float),
+        trace.parallel_times.astype(float),
+        trace.undecided_series().astype(float),
     )
     row["trace_parallel_times"] = picks_t.tolist()
     row["trace_undecided"] = picks_u.tolist()
@@ -152,11 +217,13 @@ class Figure1EnsembleExperiment(SweepExperiment):
         )
 
     def point_task(self):
+        persist = self.params["persist"]
         return partial(
             _figure1_member,
             engine=self.params["engine"],
             backend=self.params["backend"],
             max_parallel_time=self.params["max_parallel_time"],
+            persist=None if persist is None else str(persist),
         )
 
     def partial_row_view(self, row: Dict[str, Any]) -> Dict[str, Any]:

@@ -94,7 +94,9 @@ class UndecidedCeilingExperiment(SweepExperiment):
 
     def build_plan(self) -> SweepPlan:
         points = [
-            SweepPoint(n=int(n), k=int(k), bias=paper_bias(int(n)), label=f"n={n}, k={k}")
+            SweepPoint(
+                n=int(n), k=int(k), bias=paper_bias(int(n)), label=f"n={n}, k={k}"
+            )
             for n in self.params["n_values"]
             for k in self.params["k_values"]
         ]

@@ -108,7 +108,9 @@ class Figure1Left(Experiment):
     DEFAULTS = dict(_FIGURE1_DEFAULTS)
 
     def _execute(self) -> ExperimentResult:
-        trace, run, k, bias = run_figure1_trace(backend=self.params["backend"], **self.local_params)
+        trace, run, k, bias = run_figure1_trace(
+            backend=self.params["backend"], **self.local_params
+        )
         n = trace.n
         parallel = trace.parallel_times
         undecided = trace.undecided_series()
@@ -162,9 +164,12 @@ class Figure1Left(Experiment):
         else:  # pragma: no cover - degenerate horizon
             minority_rose = False
         exceeds_initial = bool(np.any(minorities.max(axis=0) > minorities[0]))
+        surpasses = (
+            " and one even surpasses its initial count" if exceeds_initial else ""
+        )
         notes.append(
             f"minorities {'do' if minority_rose else 'do not'} increase after "
-            f"the ramp-up{' and one even surpasses its initial count' if exceeds_initial else ''} "
+            f"the ramp-up{surpasses} "
             "(paper: many minorities increase over long periods)"
         )
         stab = run.stabilization_parallel_time
@@ -227,7 +232,9 @@ class Figure1Right(Experiment):
     DEFAULTS = dict(_FIGURE1_DEFAULTS)
 
     def _execute(self) -> ExperimentResult:
-        trace, run, k, bias = run_figure1_trace(backend=self.params["backend"], **self.local_params)
+        trace, run, k, bias = run_figure1_trace(
+            backend=self.params["backend"], **self.local_params
+        )
         n = trace.n
         parallel = trace.parallel_times
         majority = trace.opinion_series(1)

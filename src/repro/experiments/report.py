@@ -11,7 +11,9 @@ from .figure1 import Figure1Left, Figure1Right
 __all__ = ["render_result"]
 
 
-def render_result(result: ExperimentResult, *, plots: bool = True, width: int = 72) -> str:
+def render_result(
+    result: ExperimentResult, *, plots: bool = True, width: int = 72
+) -> str:
     """Full text report: table, notes, and (for figures) ASCII plots."""
     parts = [result.table()]
     if result.notes:

@@ -30,7 +30,12 @@ from ..core.configuration import Configuration
 from ..errors import ProtocolError
 from .engine import GossipDynamics
 
-__all__ = ["GossipUSD", "GossipThreeMajority", "GossipVoter", "three_majority_distribution"]
+__all__ = [
+    "GossipUSD",
+    "GossipThreeMajority",
+    "GossipVoter",
+    "three_majority_distribution",
+]
 
 
 class GossipUSD(GossipDynamics):

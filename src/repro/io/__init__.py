@@ -1,14 +1,18 @@
 """Persistence and report formatting."""
 
 from .serialization import load_result_rows, load_trace, save_result_rows, save_trace
+from .streaming import StreamedTrace, load_manifest, update_manifest
 from .tables import format_markdown_table, format_table, write_csv
 
 __all__ = [
+    "StreamedTrace",
     "format_markdown_table",
     "format_table",
+    "load_manifest",
     "load_result_rows",
     "load_trace",
     "save_result_rows",
     "save_trace",
+    "update_manifest",
     "write_csv",
 ]

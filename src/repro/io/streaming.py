@@ -1,0 +1,427 @@
+"""Streamed (spill-to-disk) trajectory persistence.
+
+A *streamed trace* is a run directory written incrementally by
+:class:`repro.core.persistent_recorder.PersistentTrajectoryRecorder`:
+
+* ``manifest.json`` — run provenance (protocol, n, seed, backend,
+  snapshot cadence, chunk size), the chunk index, and a ``complete``
+  flag that only flips to true on a clean close;
+* ``chunk-00000.npz``, ``chunk-00001.npz``, ... — consecutive snapshot
+  chunks, each holding ``times`` (T,) and ``counts`` (T, S) ``int64``
+  arrays.
+
+Both files are written atomically (temp file + ``os.replace``), so any
+chunk present on disk is complete even after a hard kill — the
+crash-safety contract the CI ``persistence`` leg enforces: a killed run
+leaves ``complete: false`` in the manifest and every chunk loadable.
+
+:class:`StreamedTrace` is the lazy reader: it iterates chunks on
+demand, supports ``[start:stop:step]`` snapshot slicing (``step`` is
+downsampling) and interaction-time windows, and
+:meth:`StreamedTrace.materialize` rebuilds an ordinary
+:class:`~repro.core.recorder.Trace` that is bit-identical to what the
+in-memory recorder would have produced for the same run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+import zipfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.recorder import Trace
+from ..errors import SerializationError
+
+__all__ = [
+    "MANIFEST_NAME",
+    "StreamedTrace",
+    "chunk_filename",
+    "load_chunk",
+    "load_chunk_times",
+    "load_manifest",
+    "persisted_run_matches",
+    "update_manifest",
+    "write_chunk",
+    "write_manifest",
+]
+
+PathLike = Union[str, Path]
+
+#: Name of the manifest file inside a run directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Streamed-trace format version, bumped on incompatible layout changes.
+FORMAT_VERSION = 1
+
+_CHUNK_PATTERN = re.compile(r"^chunk-(\d{5,})\.npz$")
+
+
+def chunk_filename(index: int) -> str:
+    """File name of chunk ``index`` (zero-padded for lexicographic order)."""
+    if index < 0:
+        raise SerializationError(f"chunk index must be non-negative, got {index}")
+    return f"chunk-{index:05d}.npz"
+
+
+def _atomic_write_bytes(path: Path, write_fn) -> None:
+    """Write via a sibling temp file and ``os.replace`` so readers never
+    observe a partially written file (the crash-safety contract)."""
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            write_fn(handle)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def write_chunk(
+    directory: PathLike, index: int, times: np.ndarray, counts: np.ndarray
+) -> Path:
+    """Atomically write one snapshot chunk; returns the chunk path."""
+    directory = Path(directory)
+    times = np.asarray(times, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    if times.ndim != 1 or counts.ndim != 2 or times.shape[0] != counts.shape[0]:
+        raise SerializationError("chunk arrays have inconsistent shapes")
+    if times.shape[0] == 0:
+        raise SerializationError("refusing to write an empty chunk")
+    path = directory / chunk_filename(index)
+    try:
+        _atomic_write_bytes(
+            path,
+            lambda handle: np.savez_compressed(handle, times=times, counts=counts),
+        )
+    except OSError as exc:
+        raise SerializationError(f"could not write chunk to {path}: {exc}") from exc
+    return path
+
+
+def load_chunk(path: PathLike) -> Tuple[np.ndarray, np.ndarray]:
+    """Read one chunk back as ``(times, counts)`` ``int64`` arrays."""
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            times = archive["times"].astype(np.int64)
+            counts = archive["counts"].astype(np.int64)
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
+        raise SerializationError(f"could not read chunk {path}: {exc}") from exc
+    if times.ndim != 1 or counts.ndim != 2 or times.shape[0] != counts.shape[0]:
+        raise SerializationError(f"chunk {path} has inconsistent shapes")
+    return times, counts
+
+
+def load_chunk_times(path: PathLike) -> np.ndarray:
+    """Read only a chunk's ``times`` member (cheap: one int64 per snapshot)."""
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            return archive["times"].astype(np.int64)
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
+        raise SerializationError(f"could not read chunk {path}: {exc}") from exc
+
+
+def write_manifest(directory: PathLike, manifest: Dict[str, Any]) -> Path:
+    """Atomically write the run manifest; returns its path."""
+    directory = Path(directory)
+    path = directory / MANIFEST_NAME
+    payload = json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8")
+    try:
+        _atomic_write_bytes(path, lambda handle: handle.write(payload))
+    except OSError as exc:
+        raise SerializationError(f"could not write manifest to {path}: {exc}") from exc
+    return path
+
+
+def load_manifest(directory: PathLike) -> Dict[str, Any]:
+    """Read a run directory's manifest."""
+    path = Path(directory) / MANIFEST_NAME
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"could not read manifest {path}: {exc}") from exc
+    if not isinstance(manifest, dict) or "format_version" not in manifest:
+        raise SerializationError(f"{path} is not a streamed-trace manifest")
+    version = manifest["format_version"]
+    if not isinstance(version, int):
+        raise SerializationError(
+            f"manifest {path} has a non-integer format version {version!r}"
+        )
+    if version > FORMAT_VERSION:
+        raise SerializationError(
+            f"manifest {path} uses format version {version}; "
+            f"this library reads up to {FORMAT_VERSION}"
+        )
+    return manifest
+
+
+def update_manifest(directory: PathLike, **fields: Any) -> Dict[str, Any]:
+    """Merge ``fields`` into the manifest (atomic read-modify-replace)."""
+    manifest = load_manifest(directory)
+    manifest.update(fields)
+    write_manifest(directory, manifest)
+    return manifest
+
+
+def persisted_run_matches(directory: PathLike, expect: Dict[str, Any]) -> bool:
+    """Whether ``directory`` holds a *resumable* streamed run.
+
+    True iff the directory has a manifest marked complete, carrying a
+    post-run summary, whose ``run_info`` agrees with every key in
+    ``expect`` — the guard experiments use before trusting a persisted
+    run instead of re-simulating.  Any unreadable or foreign directory
+    is simply "no match", never an error: the caller's fallback is to
+    re-simulate and overwrite.
+    """
+    directory = Path(directory)
+    if not (directory / MANIFEST_NAME).is_file():
+        return False
+    try:
+        manifest = load_manifest(directory)
+        if not manifest.get("complete") or manifest.get("summary") is None:
+            return False
+        run_info = manifest.get("run_info", {})
+        return all(run_info.get(key) == value for key, value in expect.items())
+    except (SerializationError, TypeError, AttributeError):
+        # malformed manifests (wrong types, hand-edits) are "no match",
+        # never a crash — the caller's fallback is to re-simulate
+        return False
+
+
+def _discover_chunks(directory: Path) -> List[Path]:
+    """Chunk files on disk, validated to be contiguous from index 0.
+
+    Trusting the directory listing (not the manifest's chunk count)
+    means a run killed between a chunk write and its manifest update
+    still exposes every complete chunk.
+    """
+    indexed = []
+    for path in directory.iterdir():
+        match = _CHUNK_PATTERN.match(path.name)
+        if match:
+            indexed.append((int(match.group(1)), path))
+    indexed.sort()
+    for position, (index, path) in enumerate(indexed):
+        if index != position:
+            raise SerializationError(
+                f"streamed trace {directory} has non-contiguous chunks: "
+                f"expected index {position}, found {path.name}"
+            )
+    return [path for _, path in indexed]
+
+
+class StreamedTrace:
+    """Lazy reader over a spill-to-disk run directory.
+
+    Chunks are loaded on demand (one at a time), so arbitrarily long
+    runs can be sliced and summarised without ever holding the full
+    trajectory in memory.  Snapshot *times* (one ``int64`` per
+    snapshot) are loaded eagerly — they are the index that makes
+    time-windowing cheap — while the (T, S) counts stay on disk.
+    """
+
+    def __init__(self, directory: PathLike):
+        self._directory = Path(directory)
+        if not self._directory.is_dir():
+            raise SerializationError(
+                f"streamed trace directory {self._directory} does not exist"
+            )
+        self._manifest = load_manifest(self._directory)
+        self._chunks = _discover_chunks(self._directory)
+        self._lengths: List[int] = []
+        self._times_parts: List[np.ndarray] = []
+        for path in self._chunks:
+            times = load_chunk_times(path)
+            self._lengths.append(int(times.shape[0]))
+            self._times_parts.append(times)
+        self._offsets = np.concatenate([[0], np.cumsum(self._lengths)]).astype(int)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def directory(self) -> Path:
+        """The run directory this trace reads from."""
+        return self._directory
+
+    @property
+    def manifest(self) -> Dict[str, Any]:
+        """The parsed manifest (a copy; mutate freely)."""
+        return dict(self._manifest)
+
+    @property
+    def complete(self) -> bool:
+        """Whether the writing run closed cleanly."""
+        return bool(self._manifest.get("complete", False))
+
+    @property
+    def run_info(self) -> Dict[str, Any]:
+        """Provenance recorded at run start (protocol, n, seed, ...)."""
+        return dict(self._manifest.get("run_info", {}))
+
+    @property
+    def summary(self) -> Optional[Dict[str, Any]]:
+        """Post-run summary (winner, stabilization), if one was recorded."""
+        summary = self._manifest.get("summary")
+        return dict(summary) if summary is not None else None
+
+    @property
+    def n(self) -> Optional[int]:
+        """Population size, when the writer recorded it."""
+        n = self.run_info.get("n")
+        return None if n is None else int(n)
+
+    @property
+    def protocol_name(self) -> str:
+        """Name of the protocol that generated the stream."""
+        return str(self.run_info.get("protocol", "unknown"))
+
+    @property
+    def state_names(self) -> Optional[Tuple[str, ...]]:
+        """Names of the states, when the writer recorded them."""
+        names = self.run_info.get("state_names")
+        return None if names is None else tuple(names)
+
+    @property
+    def undecided_index(self) -> Optional[int]:
+        """Index of the undecided state, or ``None``."""
+        index = self.run_info.get("undecided_index")
+        return None if index is None else int(index)
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of complete chunks on disk."""
+        return len(self._chunks)
+
+    def __len__(self) -> int:
+        """Total snapshots across all complete chunks."""
+        return int(self._offsets[-1])
+
+    @property
+    def times(self) -> np.ndarray:
+        """All snapshot interaction indices (small: one int64 each)."""
+        if not self._times_parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(self._times_parts)
+
+    # ------------------------------------------------------------------
+    # Lazy access
+    # ------------------------------------------------------------------
+
+    def iter_chunks(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(times, counts)`` per chunk, loading one at a time."""
+        for path in self._chunks:
+            yield load_chunk(path)
+
+    def _trace_metadata(self) -> Dict[str, Any]:
+        info = self.run_info
+        return dict(info.get("metadata", {}))
+
+    def _build(self, times: np.ndarray, counts: np.ndarray) -> Trace:
+        # streams written without run_info (bare recorder use) still
+        # materialize: fall back to what the arrays themselves say
+        n = self.n
+        if n is None:
+            n = int(counts[-1].sum()) or 1
+        state_names = self.state_names
+        if state_names is None:
+            state_names = tuple(f"s{i}" for i in range(counts.shape[1]))
+        return Trace(
+            times=times,
+            counts=counts,
+            n=n,
+            state_names=state_names,
+            protocol_name=self.protocol_name,
+            undecided_index=self.undecided_index,
+            metadata=self._trace_metadata(),
+        )
+
+    def __getitem__(self, item: slice) -> Trace:
+        """Materialize a snapshot-index slice (``step`` = downsampling).
+
+        Only the chunks overlapping the slice are loaded, one at a
+        time, so ``stream[-1000:]`` of a billion-snapshot run touches a
+        handful of files.
+        """
+        if not isinstance(item, slice):
+            raise SerializationError(
+                "StreamedTrace supports slice indexing only; use "
+                "materialize() for the full trace"
+            )
+        if item.step is not None and item.step <= 0:
+            raise SerializationError("slice step must be positive")
+        total = len(self)
+        start, stop, step = item.indices(total)
+        wanted = np.arange(start, stop, step)
+        times_parts: List[np.ndarray] = []
+        counts_parts: List[np.ndarray] = []
+        for chunk_index in range(self.num_chunks):
+            lo, hi = self._offsets[chunk_index], self._offsets[chunk_index + 1]
+            # wanted is sorted, so the chunk's share is a contiguous
+            # run — binary search keeps full materialization linear in
+            # the selected snapshots instead of O(snapshots × chunks)
+            first = int(np.searchsorted(wanted, lo, side="left"))
+            last = int(np.searchsorted(wanted, hi, side="left"))
+            if first == last:
+                continue
+            local = wanted[first:last] - lo
+            times, counts = load_chunk(self._chunks[chunk_index])
+            times_parts.append(times[local])
+            counts_parts.append(counts[local])
+        if not times_parts:
+            raise SerializationError("slice selects zero snapshots")
+        return self._build(np.concatenate(times_parts), np.vstack(counts_parts))
+
+    def time_slice(
+        self, start_time: float, end_time: float, *, every: int = 1
+    ) -> Trace:
+        """Materialize snapshots with interaction time in the window.
+
+        The window is inclusive on both ends, matching
+        :meth:`~repro.core.recorder.Trace.slice`; ``every`` keeps every
+        ``every``-th snapshot of the window (downsampling).
+        """
+        if every < 1:
+            raise SerializationError(f"every must be >= 1, got {every}")
+        times = self.times
+        indices = np.flatnonzero((times >= start_time) & (times <= end_time))
+        if indices.size == 0:
+            raise SerializationError(
+                f"no snapshots in time window [{start_time}, {end_time}]"
+            )
+        return self[int(indices[0]) : int(indices[-1]) + 1 : every]
+
+    def downsample(self, every: int) -> Trace:
+        """Materialize every ``every``-th snapshot (``[::every]``)."""
+        if every < 1:
+            raise SerializationError(f"downsample factor must be >= 1, got {every}")
+        return self[::every]
+
+    def materialize(self) -> Trace:
+        """Rebuild the full in-memory :class:`Trace`.
+
+        Bit-identical to the trace the in-memory recorder would have
+        produced for the same run (same snapshot times and counts, same
+        dtypes) — the property the round-trip test suite pins down.
+        """
+        return self[:]
+
+    def __repr__(self) -> str:
+        status = "complete" if self.complete else "INCOMPLETE"
+        return (
+            f"StreamedTrace({str(self._directory)!r}, snapshots={len(self)}, "
+            f"chunks={self.num_chunks}, {status})"
+        )

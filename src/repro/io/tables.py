@@ -50,7 +50,8 @@ def format_table(
         [_format_cell(row.get(col), float_format) for col in cols] for row in rows
     ]
     widths = [
-        max(len(col), *(len(line[i]) for line in rendered)) for i, col in enumerate(cols)
+        max(len(col), *(len(line[i]) for line in rendered))
+        for i, col in enumerate(cols)
     ]
     parts = []
     if title:

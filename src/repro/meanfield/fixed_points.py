@@ -11,7 +11,6 @@ stability through the Jacobian.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

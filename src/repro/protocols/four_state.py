@@ -34,7 +34,13 @@ from ..core.protocol import PopulationProtocol
 from ..errors import ProtocolError
 from ..types import StatePair
 
-__all__ = ["FourStateExactMajority", "STATE_A", "STATE_B", "STATE_WEAK_A", "STATE_WEAK_B"]
+__all__ = [
+    "FourStateExactMajority",
+    "STATE_A",
+    "STATE_B",
+    "STATE_WEAK_A",
+    "STATE_WEAK_B",
+]
 
 STATE_A = 0
 STATE_B = 1

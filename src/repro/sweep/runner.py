@@ -162,7 +162,14 @@ def load_checkpoint(path: Union[str, Path]) -> Dict[str, Any]:
         payload = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise SweepError(f"could not read sweep checkpoint {path}: {exc}") from exc
-    required = {"sweep_id", "point_index", "canonical_label", "seed", "root_seed", "row"}
+    required = {
+        "sweep_id",
+        "point_index",
+        "canonical_label",
+        "seed",
+        "root_seed",
+        "row",
+    }
     if not isinstance(payload, dict) or not required <= set(payload):
         raise SweepError(f"{path} is not a sweep checkpoint file")
     return payload

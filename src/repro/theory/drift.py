@@ -234,7 +234,9 @@ def estimate_drift_empirically(
     return DriftEstimate(mean=mean, std_error=std_error, samples=samples)
 
 
-def _read_quantity(counts: np.ndarray, quantity: str, opinion: int, other: int) -> float:
+def _read_quantity(
+    counts: np.ndarray, quantity: str, opinion: int, other: int
+) -> float:
     if quantity == "undecided":
         return float(counts[0])
     if quantity == "opinion":

@@ -4,7 +4,7 @@ import networkx as nx
 import numpy as np
 import pytest
 
-from repro import AgentEngine, Configuration, GraphPairScheduler, SimulationError
+from repro import AgentEngine, GraphPairScheduler, SimulationError
 from repro.core.scheduler import UniformPairScheduler
 from repro.protocols import UndecidedStateDynamics
 

@@ -6,6 +6,8 @@ times, same counts, same duplicate-dropping — while doing its
 accumulation on a background thread.
 """
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -91,6 +93,72 @@ class TestLifecycle:
         recorder.flush()
         assert len(recorder) == 100
         recorder.close()
+
+    def test_concurrent_closes_run_the_shutdown_exactly_once(self):
+        """Racing close() calls must not double-run the close sequence.
+
+        The pre-fix race: two closers could both pass the ``_closed``
+        check (it was only flipped after ``join()`` returned) and both
+        execute the drain-join-finalize sequence — harmless for the
+        base recorder but a double-finalize for persistence subclasses.
+        """
+        protocol = UndecidedStateDynamics(k=2)
+        engine = CountsEngine(protocol, np.array([4, 8, 8]), seed=2)
+        recorder = AsyncTrajectoryRecorder()
+        recorder.record(engine)
+        finalizes = []
+        original = recorder._finalize_close
+        recorder._finalize_close = lambda: finalizes.append(original())
+        errors = []
+
+        def closer():
+            try:
+                recorder.close()
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(finalizes) == 1
+        assert recorder._closed
+
+    def test_record_racing_close_is_rejected_or_recorded_never_lost(self):
+        """A record() concurrent with close() either lands in the trace
+        or raises; it can never slip past the closing worker."""
+        protocol = UndecidedStateDynamics(k=2)
+        engine = CountsEngine(protocol, np.array([4, 8, 8]), seed=2)
+        recorder = AsyncTrajectoryRecorder()
+        recorder.record(engine)
+        recorded = []
+        stop = threading.Event()
+
+        def producer():
+            step = 0
+            while not stop.is_set():
+                step += 10
+                engine.step(10)
+                try:
+                    recorder.record(engine)
+                    recorded.append(engine.interactions)
+                except SimulationError:
+                    return
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        recorder.close()
+        stop.set()
+        thread.join()
+        trace = recorder.build(
+            n=engine.n,
+            state_names=protocol.state_names(),
+            protocol_name=protocol.name,
+        )
+        # every record() that returned successfully is in the trace
+        assert set(recorded) <= set(trace.times.tolist())
 
     def test_worker_failure_surfaces_on_producer(self):
         recorder = AsyncTrajectoryRecorder()

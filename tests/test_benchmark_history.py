@@ -12,6 +12,7 @@ BENCHMARKS_DIR = Path(__file__).parent.parent / "benchmarks"
 sys.path.insert(0, str(BENCHMARKS_DIR))
 
 from history import (  # noqa: E402 (path bootstrap above)
+    check_history,
     current_commit,
     format_trajectory,
     load_history,
@@ -50,6 +51,29 @@ class TestRecordAndLoad:
         assert format_trajectory("nope", history_dir=tmp_path).endswith(
             "no recorded history"
         )
+
+    def test_check_accepts_recorded_history(self, tmp_path):
+        record_benchmark("demo", {"speedup": 1.5}, commit="c1", history_dir=tmp_path)
+        record_benchmark("other", {"rate": 2}, commit="c1", history_dir=tmp_path)
+        assert check_history(history_dir=tmp_path) == []
+
+    def test_check_flags_corruption(self, tmp_path):
+        record_benchmark("demo", {"speedup": 1.5}, commit="c1", history_dir=tmp_path)
+        (tmp_path / "garbage.json").write_text("{not json")
+        (tmp_path / "misnamed.json").write_text(
+            '{"name": "something-else", "entries": []}'
+        )
+        (tmp_path / "badentry.json").write_text(
+            '{"name": "badentry", "entries": [{"metrics": {}}]}'
+        )
+        problems = "\n".join(check_history(history_dir=tmp_path))
+        assert "invalid JSON" in problems
+        assert "does not match file stem" in problems
+        assert "missing commit" in problems
+        assert "demo" not in problems  # the healthy file stays clean
+
+    def test_check_of_missing_directory_is_clean(self, tmp_path):
+        assert check_history(history_dir=tmp_path / "nothing") == []
 
     def test_current_commit_marks_dirty_trees(self):
         """Measurements from uncommitted code must not impersonate HEAD."""

@@ -1,6 +1,5 @@
 """Unit tests for repro.theory.drift — the proof algebra vs the simulator."""
 
-import numpy as np
 import pytest
 
 from repro import Configuration

@@ -29,7 +29,7 @@ from repro.experiments import (
     render_result,
     run_experiment,
 )
-from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.base import ExperimentResult
 
 
 class TestFramework:

@@ -69,7 +69,9 @@ class TestFigure1Ensemble:
             "stab_times",
         }
         # band ordering everywhere
-        assert (result.series["undecided_lower"] <= result.series["undecided_upper"]).all()
+        assert (
+            result.series["undecided_lower"] <= result.series["undecided_upper"]
+        ).all()
 
     def test_partial_shard_report_summarises_polylines(self, tmp_path):
         """A partial-shard report must not dump the raw u(t) polylines

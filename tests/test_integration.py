@@ -10,7 +10,7 @@ import math
 import numpy as np
 import pytest
 
-from repro import Configuration, Trace, simulate
+from repro import Configuration, simulate
 from repro.analysis import (
     doubling_time,
     undecided_exceedance,

@@ -33,7 +33,9 @@ def exact_transition_distribution():
                 continue
             delta = table.delta_of(a, b)
             outcome = tuple((COUNTS + delta).tolist())
-            distribution[outcome] = distribution.get(outcome, 0.0) + weight / denominator
+            distribution[outcome] = (
+                distribution.get(outcome, 0.0) + weight / denominator
+            )
     return distribution
 
 

@@ -20,7 +20,9 @@ usd_counts = st.lists(
     st.integers(min_value=0, max_value=60), min_size=3, max_size=6
 ).filter(lambda xs: sum(xs) >= 2)
 
-step_patterns = st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=5)
+step_patterns = st.lists(
+    st.integers(min_value=0, max_value=200), min_size=1, max_size=5
+)
 
 
 class TestUniversalInvariants:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import Configuration, CountsEngine
+from repro import CountsEngine
 from repro.core import stopping
 from repro.errors import ProtocolError
 from repro.protocols import FourStateExactMajority, UndecidedStateDynamics, VoterModel

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import ProtocolError, TransitionTable, UndecidedStateDynamics
+from repro import ProtocolError, TransitionTable
 from repro.protocols import VoterModel
 
 

@@ -2,12 +2,10 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro import ConfigurationError
 from repro.errors import ExperimentError
-from repro.theory import u_tilde
 from repro.workloads import (
     SweepPoint,
     bias_sweep,
