@@ -16,7 +16,11 @@ Population Protocol Model"* (El-Hayek, Elsässer, Schmid — PODC 2025):
   Figure 1 and validating Lemmas 3.1/3.3/3.4 and Theorem 3.5;
 * :mod:`repro.parallel` — process-pool execution of seed ensembles;
 * :mod:`repro.sweep` — sharded sweep execution over parameter grids,
-  with resumable per-point checkpoints and merged provenance.
+  with resumable per-point checkpoints and merged provenance;
+* :mod:`repro.specs` — the declarative configuration layer: one
+  serializable, hashable spec family (``RunSpec`` / ``EnsembleSpec`` /
+  ``SweepSpec``) behind every run surface, and JSON *scenario files*
+  that make new experiments data instead of code.
 
 Quickstart
 ----------
@@ -26,6 +30,27 @@ Quickstart
 >>> result = simulate(protocol, initial, seed=0, max_parallel_time=2_000)
 >>> result.winner
 1
+
+The same run as a declarative spec — serializable, diffable, hashable
+(``simulate(spec)`` and the keyword form are bit-identical):
+
+>>> from repro.specs import ProtocolSpec, InitialSpec, RunSpec
+>>> spec = RunSpec(
+...     protocol=ProtocolSpec(name="usd", k=8),
+...     initial=InitialSpec(
+...         kind="equal-minorities", n=10_000, params={"bias": 700}
+...     ),
+...     seed=0,
+...     max_parallel_time=2_000,
+... )
+>>> simulate(spec).winner
+1
+>>> len(spec.spec_hash())  # canonical content hash (SHA-256)
+64
+
+Scenario files are these specs as JSON — run them with
+``repro run --spec examples/scenarios/usd_vs_voter.json`` and override
+any dotted key with ``--set`` (e.g. ``--set initial.n=4000``).
 
 Parallel ensembles
 ------------------
@@ -109,9 +134,19 @@ from .protocols import (
     UndecidedStateDynamics,
     VoterModel,
 )
-from .errors import ParallelError, SweepError
+from .errors import ParallelError, SpecError, SweepError
 from .parallel import map_seeds, run_ensemble
 from .rng import derive_seed, make_rng, spawn, spawn_many, spawn_seeds
+from .specs import (
+    EnsembleSpec,
+    InitialSpec,
+    ProtocolSpec,
+    RecordingSpec,
+    RunSpec,
+    SweepSpec,
+    load_spec_file,
+    run_spec,
+)
 from . import (
     analysis,
     experiments,
@@ -119,6 +154,7 @@ from . import (
     io,
     meanfield,
     parallel,
+    specs,
     sweep,
     theory,
     workloads,
@@ -162,6 +198,15 @@ __all__ = [
     # parallel
     "map_seeds",
     "run_ensemble",
+    # specs
+    "EnsembleSpec",
+    "InitialSpec",
+    "ProtocolSpec",
+    "RecordingSpec",
+    "RunSpec",
+    "SweepSpec",
+    "load_spec_file",
+    "run_spec",
     # errors
     "BatchSizeError",
     "ConfigurationError",
@@ -173,6 +218,7 @@ __all__ = [
     "SchedulerError",
     "SerializationError",
     "SimulationError",
+    "SpecError",
     "SweepError",
     # subpackages
     "analysis",
@@ -181,6 +227,7 @@ __all__ = [
     "io",
     "meanfield",
     "parallel",
+    "specs",
     "sweep",
     "theory",
     "workloads",

@@ -21,9 +21,11 @@ from typing import Any, Dict, Optional, Tuple, Union
 import numpy as np
 
 from ..core.configuration import Configuration
+from ..core.engine import default_snapshot_every
 from ..core.run import resolve_engine_name, simulate
 from ..errors import ExperimentError
 from ..io.streaming import load_manifest, persisted_run_matches
+from ..specs import normalize_run
 from ..parallel import run_ensemble
 from ..protocols.usd import UndecidedStateDynamics
 from ..types import SeedLike
@@ -137,7 +139,7 @@ def _stabilization_task(
             "engine": resolve_engine_name(engine, n),
             "snapshot_every": snapshot_every
             if snapshot_every is not None
-            else max(1, n // 2),
+            else default_snapshot_every(n),
             "max_interactions": int(round(max_parallel_time * n)),
             # the exact initial state counts: a changed k/bias/initial
             # condition can never be answered from a stale stream
@@ -145,6 +147,19 @@ def _stabilization_task(
                 int(c) for c in protocol.encode_configuration(initial)
             ],
         }
+        # hash-first matching: one canonical spec_hash decides against
+        # manifests written by this library version; the field-by-field
+        # keys above remain the fallback for PR-4-format directories
+        expected_spec = normalize_run(
+            protocol,
+            initial,
+            engine=engine,
+            seed=run_seed,
+            max_parallel_time=max_parallel_time,
+            snapshot_every=snapshot_every,
+        )
+        if expected_spec is not None:
+            expect["spec_hash"] = expected_spec.spec_hash()
         if persisted_run_matches(run_dir, expect):
             summary = load_manifest(run_dir)["summary"]
             stab = summary["stabilization_interactions"]

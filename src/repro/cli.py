@@ -11,6 +11,16 @@ Subcommands
     compute-kernel backend (bit-identical results either way) and
     ``--persist`` streams member trajectories to spill-to-disk run
     directories that later invocations resume from.
+``repro run --spec FILE [--set dotted.key=value ...] [--out DIR] [--shard I/M] [--resume]``
+    Run a *scenario file* — a JSON ``RunSpec`` / ``EnsembleSpec`` /
+    ``SweepSpec`` document (see ``examples/scenarios/``) — instead of a
+    registry experiment.  ``--set`` then addresses dotted keys of the
+    document (``--set initial.n=4000``); sweep scenarios checkpoint
+    under ``--out`` and accept ``--shard``/``--resume`` exactly like
+    ``repro sweep run``.
+``repro spec show|validate|hash FILE [--set dotted.key=value ...]``
+    Inspect a scenario file: print the normalised document, validate it
+    against the spec schema, or print its canonical ``spec_hash``.
 ``repro backends``
     List the registered compute-kernel backends, their availability on
     this machine and the default.
@@ -69,15 +79,51 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("list", help="list registered experiments")
 
-    run = commands.add_parser("run", help="run one experiment by id (or 'all')")
-    run.add_argument("experiment_id", help="experiment id from 'repro list', or 'all'")
+    run = commands.add_parser(
+        "run", help="run one experiment by id (or 'all'), or a scenario file"
+    )
+    run.add_argument(
+        "experiment_id",
+        nargs="?",
+        default=None,
+        help="experiment id from 'repro list', or 'all' (omit with --spec)",
+    )
+    run.add_argument(
+        "--spec",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "run a scenario file (a JSON RunSpec/EnsembleSpec/SweepSpec "
+            "document, see examples/scenarios/) instead of a registry "
+            "experiment; --set overrides then use dotted spec keys, e.g. "
+            "--set initial.n=4000 --set protocol.name=voter"
+        ),
+    )
     run.add_argument(
         "--set",
         dest="overrides",
         action="append",
         default=[],
         metavar="NAME=VALUE",
-        help="override an experiment parameter (Python-literal value)",
+        help=(
+            "override an experiment parameter (Python-literal value); with "
+            "--spec, a dotted key into the scenario document"
+        ),
+    )
+    run.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/M",
+        help="with --spec on a sweep scenario: execute shard I of M",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "with --spec on a sweep scenario: skip grid points already "
+            "checkpointed under --out"
+        ),
     )
     run.add_argument("--out", type=Path, default=None, help="directory for artifacts")
     run.add_argument(
@@ -119,6 +165,28 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser(
         "backends", help="list compute-kernel backends and their availability"
     )
+
+    spec = commands.add_parser(
+        "spec", help="inspect scenario files: show / validate / hash"
+    )
+    spec_commands = spec.add_subparsers(dest="spec_command", required=True)
+    for name, description in (
+        ("show", "print the normalised spec document (after validation)"),
+        ("validate", "validate a scenario file against the spec schema"),
+        ("hash", "print the canonical spec_hash of a scenario file"),
+    ):
+        sub = spec_commands.add_parser(name, help=description)
+        sub.add_argument(
+            "spec_file", type=Path, help="a JSON scenario file (see --spec)"
+        )
+        sub.add_argument(
+            "--set",
+            dest="overrides",
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help="apply a dotted override before showing/validating/hashing",
+        )
 
     trace = commands.add_parser(
         "trace", help="inspect / export streamed (persist_to) run directories"
@@ -292,6 +360,111 @@ def _run_one(
             print(f"wrote {path}")
 
 
+def _spec_with_cli_overrides(
+    spec_obj: Any,
+    overrides: Dict[str, Any],
+    backend: Optional[str],
+    persist: Optional[Path],
+) -> Any:
+    """Layer ``--set`` / ``--backend`` / ``--persist`` onto a spec.
+
+    ``--backend`` and ``--persist`` address the run template of
+    whichever spec kind was loaded (the run itself, an ensemble's
+    ``run``, a sweep's ``base``); explicit ``--set`` keys win.
+    """
+    from .specs import apply_overrides, load_spec
+
+    payload = spec_obj.to_dict()
+    prefix = {"run": "", "ensemble": "run.", "sweep": "base."}[payload["kind"]]
+    implied: Dict[str, Any] = {}
+    if backend is not None:
+        implied[f"{prefix}backend"] = backend
+    if persist is not None:
+        implied[f"{prefix}recording.persist_to"] = str(persist)
+    merged = {**implied, **overrides}
+    if not merged:
+        return spec_obj
+    return load_spec(apply_overrides(payload, merged))
+
+
+def _print_run_result(result: Any) -> None:
+    """Human summary of a single spec run (population or gossip)."""
+    print(f"stabilized       {result.stabilized}")
+    print(f"winner           {result.winner}")
+    if hasattr(result, "rounds"):
+        print(f"rounds           {result.rounds}")
+        print(f"stab. rounds     {result.stabilization_rounds}")
+    else:
+        print(f"interactions     {result.interactions}")
+        print(f"parallel time    {result.parallel_time:.2f}")
+        print(f"stab. time       {result.stabilization_parallel_time}")
+        if result.persist_dir is not None:
+            print(f"persisted to     {result.persist_dir}")
+    print(f"wall seconds     {result.wall_seconds:.3f}")
+    spec_hash = result.metadata.get("spec_hash")
+    if spec_hash is not None:
+        print(f"spec hash        {spec_hash}")
+
+
+def _run_spec_file(args: Any) -> None:
+    from .io.tables import format_table
+    from .specs import EnsembleRun, SweepSpecRun, load_spec_file, run_spec
+
+    spec_obj = load_spec_file(args.spec)
+    spec_obj = _spec_with_cli_overrides(
+        spec_obj, parse_overrides(args.overrides), args.backend, args.persist
+    )
+    result = run_spec(
+        spec_obj,
+        workers=args.workers if args.workers is not None else 0,
+        shard=args.shard,
+        out=args.out,
+        resume=args.resume,
+    )
+    if isinstance(result, EnsembleRun):
+        print(
+            format_table(
+                list(result.rows), title=f"ensemble {result.spec_hash[:16]}"
+            )
+        )
+        print(f"spec hash        {result.spec_hash}")
+    elif isinstance(result, SweepSpecRun):
+        if result.rows:
+            print(format_table(list(result.rows), title=f"sweep {result.sweep_id}"))
+        print(f"spec hash        {result.spec_hash}")
+        if result.partial:
+            print(
+                "partial sweep: run the remaining shards with the same "
+                "--spec/--out, then re-run unsharded with --resume to merge"
+            )
+        for path in result.artifacts:
+            print(f"wrote {path}")
+    else:
+        _print_run_result(result)
+
+
+def _run_spec_inspect(args: Any) -> None:
+    import json
+
+    from .specs import load_spec_file
+
+    spec_obj = load_spec_file(args.spec_file)
+    spec_obj = _spec_with_cli_overrides(
+        spec_obj, parse_overrides(args.overrides), None, None
+    )
+    if args.spec_command == "show":
+        print(json.dumps(spec_obj.to_dict(), indent=2, ensure_ascii=False))
+    elif args.spec_command == "validate":
+        payload = spec_obj.to_dict()
+        print(
+            f"{args.spec_file}: valid {payload['kind']!r} spec "
+            f"(schema_version {payload['schema_version']}, "
+            f"hash {spec_obj.spec_hash()[:16]}…)"
+        )
+    else:  # hash
+        print(spec_obj.spec_hash())
+
+
 def _sweep_experiment_class(experiment_id: str):
     from .experiments.base import SweepExperiment
 
@@ -462,6 +635,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif args.command == "backends":
             _print_backends()
         elif args.command == "run":
+            if args.spec is not None:
+                if args.experiment_id is not None:
+                    raise ReproError(
+                        "give either an experiment id or --spec FILE, not both"
+                    )
+                _run_spec_file(args)
+                return 0
+            if args.experiment_id is None:
+                raise ReproError("run needs an experiment id or --spec FILE")
+            if args.shard is not None or args.resume:
+                raise ReproError(
+                    "--shard/--resume on 'repro run' apply to sweep scenario "
+                    "files (--spec); use 'repro sweep run' for registry "
+                    "sweep experiments"
+                )
             overrides = parse_overrides(args.overrides)
             if args.workers is not None:
                 overrides["workers"] = args.workers
@@ -488,6 +676,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             for panel in panels:
                 _run_one(panel, overrides, args.out, plots=True)
                 print()
+        elif args.command == "spec":
+            _run_spec_inspect(args)
         elif args.command == "sweep":
             _run_sweep_command(args)
         elif args.command == "trace":

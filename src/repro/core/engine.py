@@ -33,7 +33,18 @@ from .protocol import PopulationProtocol
 if TYPE_CHECKING:  # pragma: no cover
     from .recorder import TrajectoryRecorder
 
-__all__ = ["BaseEngine"]
+__all__ = ["BaseEngine", "default_snapshot_every"]
+
+
+def default_snapshot_every(n: int) -> int:
+    """Default recording / stop-check cadence: half a parallel round.
+
+    The single definition the engine run loop, ``simulate``'s manifest
+    ``run_info``, the persisted-run resume guards and the spec layer's
+    ``spec_hash`` identity all share — they must agree, or a resolved
+    spec would claim a different cadence than its run records.
+    """
+    return max(1, n // 2)
 
 
 class BaseEngine(abc.ABC):
@@ -224,7 +235,11 @@ class BaseEngine(abc.ABC):
                 "max_interactions lies in the past "
                 f"({max_interactions} < {self._interactions})"
             )
-        chunk = snapshot_every if snapshot_every is not None else max(1, self._n // 2)
+        chunk = (
+            snapshot_every
+            if snapshot_every is not None
+            else default_snapshot_every(self._n)
+        )
         if chunk < 1:
             raise SimulationError(f"snapshot_every must be >= 1, got {chunk}")
         owned_recorder = None

@@ -157,10 +157,17 @@ def backend_fallback_reason(name: str) -> Optional[str]:
 def default_backend() -> str:
     """The backend used when none is requested.
 
-    Always the NumPy reference: accelerated backends are opt-in, so the
-    default behaviour is byte-identical whether or not their optional
-    dependencies are installed.
+    The Numba JIT backend when it is importable *and* passes its
+    load-time bit-identity self-check, else the NumPy reference.
+    Backends are bit-identical by contract (the numba one is
+    additionally self-checked draw-for-draw at load), so preferring the
+    compiled backend changes throughput only — results are byte-equal
+    whether or not the optional dependency is installed.  The resolved
+    choice is recorded per run in ``RunResult.metadata['backend']`` and
+    the persistence manifest's ``run_info``.
     """
+    if "numba" in _LOADERS and _resolve("numba") is not None:
+        return "numba"
     return "numpy"
 
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
 import numpy as np
 
@@ -31,10 +31,13 @@ from .async_recorder import AsyncTrajectoryRecorder
 from .batch_engine import BatchEngine
 from .configuration import Configuration
 from .counts_engine import CountsEngine
-from .engine import BaseEngine
+from .engine import BaseEngine, default_snapshot_every
 from .persistent_recorder import PersistentTrajectoryRecorder
 from .protocol import OpinionProtocol, PopulationProtocol, default_undecided_index
 from .recorder import Trace, TrajectoryRecorder
+
+if TYPE_CHECKING:  # pragma: no cover — annotation-only import
+    from ..specs import RunSpec
 
 __all__ = [
     "RunResult",
@@ -183,8 +186,8 @@ def resolve_engine_name(engine: str, n: int) -> str:
 
 
 def simulate(
-    protocol: PopulationProtocol,
-    initial: Union[Configuration, np.ndarray],
+    protocol: Union[PopulationProtocol, "RunSpec"],
+    initial: Optional[Union[Configuration, np.ndarray]] = None,
     *,
     engine: str = "auto",
     seed: SeedLike = None,
@@ -199,9 +202,19 @@ def simulate(
     persist_chunk_snapshots: Optional[int] = None,
     persist_window: Optional[int] = None,
     metadata: Optional[Dict[str, Any]] = None,
+    _spec: Any = None,
     **engine_kwargs: Any,
 ) -> RunResult:
     """Run ``protocol`` from ``initial`` and return a :class:`RunResult`.
+
+    The first argument may instead be a :class:`repro.specs.RunSpec`
+    — ``simulate(spec)`` — in which case no other argument is allowed:
+    the spec *is* the whole configuration.  The keyword form below is a
+    thin normalizer over the same execution path: when its arguments
+    are declaratively representable (registered protocol, integer seed,
+    no callable ``stop``), they are normalised into a ``RunSpec`` whose
+    ``spec_hash`` lands in the result metadata and the persistence
+    manifest; results are bit-identical between the two forms.
 
     Exactly one horizon must be given, either ``max_interactions`` or
     ``max_parallel_time`` (converted as ``round(t * n)``).  The run ends
@@ -223,8 +236,82 @@ def simulate(
     tail snapshots; the result's ``trace`` is the tail window, its
     ``streamed_trace()`` the full on-disk trajectory, whose
     ``materialize()`` is bit-identical to an in-memory recording of the
-    same run.
+    same run.  The tuning knobs require a target:
+    ``persist_chunk_snapshots``/``persist_window`` without
+    ``persist_to`` raise instead of being silently ignored.
     """
+    from ..specs import RunSpec, normalize_run, run_spec
+
+    if isinstance(protocol, RunSpec):
+        # the spec IS the whole configuration: every other argument
+        # must stay at its default, or part of the caller's intent
+        # would be silently ignored
+        overridden = [
+            name
+            for name, value, default in (
+                ("initial", initial, None),
+                ("engine", engine, "auto"),
+                ("seed", seed, None),
+                ("backend", backend, None),
+                ("max_interactions", max_interactions, None),
+                ("max_parallel_time", max_parallel_time, None),
+                ("snapshot_every", snapshot_every, None),
+                ("stop", stop, None),
+                ("stop_when_stable", stop_when_stable, True),
+                ("record_async", record_async, False),
+                ("persist_to", persist_to, None),
+                ("persist_chunk_snapshots", persist_chunk_snapshots, None),
+                ("persist_window", persist_window, None),
+                ("metadata", metadata, None),
+            )
+            # identity for None defaults (== on an ndarray initial
+            # would yield an elementwise array), equality otherwise
+            if not (
+                value is default
+                or (default is not None and value == default)
+            )
+        ] + sorted(engine_kwargs)
+        if overridden:
+            raise SimulationError(
+                "simulate(spec) takes no other arguments — the spec carries "
+                f"the whole configuration, but {', '.join(overridden)} "
+                "was passed too; derive a new spec instead "
+                "(dataclasses.replace / spec.with_seed / --set overrides)"
+            )
+        return run_spec(protocol)
+
+    if persist_to is None and (
+        persist_chunk_snapshots is not None or persist_window is not None
+    ):
+        from ..errors import SpecError
+
+        raise SpecError(
+            "persist_chunk_snapshots/persist_window tune the spill-to-disk "
+            "stream and require persist_to; without a persistence target "
+            "they would be silently ignored"
+        )
+
+    spec = _spec
+    if spec is None:
+        spec = normalize_run(
+            protocol,
+            initial,
+            engine=engine,
+            seed=seed,
+            backend=backend,
+            max_interactions=max_interactions,
+            max_parallel_time=max_parallel_time,
+            snapshot_every=snapshot_every,
+            stop=stop,
+            stop_when_stable=stop_when_stable,
+            record_async=record_async,
+            persist_to=persist_to,
+            persist_chunk_snapshots=persist_chunk_snapshots,
+            persist_window=persist_window,
+            metadata=metadata,
+            engine_kwargs=engine_kwargs,
+        )
+
     eng = make_engine(
         protocol, initial, engine=engine, seed=seed, backend=backend, **engine_kwargs
     )
@@ -251,6 +338,11 @@ def simulate(
         "n": eng.n,
         **(metadata or {}),
     }
+    if spec is not None:
+        # the resolved backend is recorded above; the hash covers the
+        # result-determining configuration only, so it is identical for
+        # the keyword and the spec form of the same run
+        meta["spec_hash"] = spec.spec_hash()
 
     recorder: TrajectoryRecorder
     if persist_to is not None:
@@ -259,28 +351,35 @@ def simulate(
             persist_kwargs["chunk_snapshots"] = persist_chunk_snapshots
         if persist_window is not None:
             persist_kwargs["window_snapshots"] = persist_window
+        run_info = {
+            "protocol": protocol.name,
+            "n": eng.n,
+            "seed": _jsonable_seed(seed),
+            "engine": eng.engine_name,
+            "backend": eng.backend,
+            "snapshot_every": snapshot_every
+            if snapshot_every is not None
+            else default_snapshot_every(eng.n),
+            "max_interactions": max_interactions,
+            # the engine has not stepped yet: these are the initial
+            # state counts, and (with the protocol name) identify
+            # the workload exactly — resume guards match on them so
+            # a changed k/bias/initial condition can never be
+            # answered from a stale stream
+            "initial_counts": [int(c) for c in eng.counts],
+            "state_names": list(protocol.state_names()),
+            "undecided_index": undecided_index,
+            "metadata": meta,
+        }
+        if spec is not None:
+            # the canonical identity of this run: resume guards compare
+            # this single hash instead of the field-by-field run_info
+            # (which stays for PR-4-format readers and human forensics)
+            run_info["spec_hash"] = spec.spec_hash()
+            run_info["spec"] = spec.to_dict()
         recorder = PersistentTrajectoryRecorder(
             persist_to,
-            run_info={
-                "protocol": protocol.name,
-                "n": eng.n,
-                "seed": _jsonable_seed(seed),
-                "engine": eng.engine_name,
-                "backend": eng.backend,
-                "snapshot_every": snapshot_every
-                if snapshot_every is not None
-                else max(1, eng.n // 2),
-                "max_interactions": max_interactions,
-                # the engine has not stepped yet: these are the initial
-                # state counts, and (with the protocol name) identify
-                # the workload exactly — resume guards match on them so
-                # a changed k/bias/initial condition can never be
-                # answered from a stale stream
-                "initial_counts": [int(c) for c in eng.counts],
-                "state_names": list(protocol.state_names()),
-                "undecided_index": undecided_index,
-                "metadata": meta,
-            },
+            run_info=run_info,
             **persist_kwargs,
         )
     elif record_async:

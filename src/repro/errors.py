@@ -90,3 +90,15 @@ class ExperimentError(ReproError):
 
 class SerializationError(ReproError):
     """A trace or result file could not be written or parsed."""
+
+
+class SpecError(ReproError, ValueError):
+    """A declarative run/ensemble/sweep spec is invalid or inconsistent.
+
+    Raised when a spec fails validation (unknown protocol name, missing
+    horizon, persistence tuning without a persistence target), when a
+    spec dict/JSON document cannot be parsed against the schema, or when
+    a dotted ``--set`` override addresses a key the spec does not have.
+    Subclasses :class:`ValueError` as well, because an invalid spec is
+    before anything else an invalid argument value.
+    """

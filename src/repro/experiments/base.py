@@ -17,9 +17,10 @@ from typing import Any, Dict, List
 
 import numpy as np
 
-from ..errors import ExperimentError, SweepError
+from ..errors import ExperimentError, SpecError, SweepError
 from ..io.serialization import save_result_rows
 from ..io.tables import format_table
+from ..specs import merge_params
 from ..sweep import ShardSpec, SweepPlan, run_sweep
 
 __all__ = ["ExperimentResult", "Experiment", "SweepExperiment"]
@@ -137,13 +138,13 @@ class Experiment(abc.ABC):
 
     def __init__(self, **overrides: Any):
         defaults = {**self.GLOBAL_DEFAULTS, **self.DEFAULTS}
-        unknown = set(overrides) - set(defaults)
-        if unknown:
-            raise ExperimentError(
-                f"{self.experiment_id}: unknown parameters {sorted(unknown)}; "
-                f"valid ones are {sorted(defaults)}"
-            )
-        self.params: Dict[str, Any] = {**defaults, **overrides}
+        try:
+            # the spec layer's merge: unknown names rejected, dotted
+            # names (``--set persist.window=...`` style) descend into
+            # nested dict defaults
+            self.params: Dict[str, Any] = merge_params(defaults, overrides)
+        except SpecError as exc:
+            raise ExperimentError(f"{self.experiment_id}: {exc}") from exc
 
     @property
     def local_params(self) -> Dict[str, Any]:

@@ -44,6 +44,7 @@ from ..analysis.trajectories import doubling_time
 from ..core.recorder import Trace
 from ..core.run import resolve_engine_name, simulate
 from ..io.streaming import StreamedTrace, persisted_run_matches
+from ..specs import normalize_run
 from ..protocols.usd import UndecidedStateDynamics
 from ..sweep import SweepPlan
 from ..theory.bounds import paper_k_schedule
@@ -134,6 +135,18 @@ def _figure1_member(
         # answered from a stale stream
         "initial_counts": [int(c) for c in protocol.encode_configuration(config)],
     }
+    # hash-first matching against current manifests; the fields above
+    # remain the fallback for PR-4-format run directories
+    expected_spec = normalize_run(
+        protocol,
+        config,
+        engine=engine,
+        seed=point_seed,
+        max_parallel_time=max_parallel_time,
+        snapshot_every=snapshot_every,
+    )
+    if expected_spec is not None:
+        expect["spec_hash"] = expected_spec.spec_hash()
     if run_dir is not None and persisted_run_matches(run_dir, expect):
         streamed = StreamedTrace(run_dir)
         summary = streamed.summary or {}

@@ -73,5 +73,8 @@ def run_experiment(experiment_id: str, **params: Any) -> ExperimentResult:
     trio ``shard``/``resume``/``out`` (sharded execution, checkpoint
     reuse and checkpoint directory for :class:`~repro.experiments.base.
     SweepExperiment` subclasses; ignored by non-sweep experiments).
+    Parameters resolve through the spec layer's merge
+    (:func:`repro.specs.merge_params`): unknown names are rejected, and
+    dotted names descend into nested dict defaults.
     """
     return get_experiment(experiment_id)(**params).run()

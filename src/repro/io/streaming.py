@@ -179,11 +179,19 @@ def persisted_run_matches(directory: PathLike, expect: Dict[str, Any]) -> bool:
     """Whether ``directory`` holds a *resumable* streamed run.
 
     True iff the directory has a manifest marked complete, carrying a
-    post-run summary, whose ``run_info`` agrees with every key in
-    ``expect`` — the guard experiments use before trusting a persisted
-    run instead of re-simulating.  Any unreadable or foreign directory
-    is simply "no match", never an error: the caller's fallback is to
-    re-simulate and overwrite.
+    post-run summary, whose ``run_info`` agrees with ``expect`` — the
+    guard experiments use before trusting a persisted run instead of
+    re-simulating.  Any unreadable or foreign directory is simply "no
+    match", never an error: the caller's fallback is to re-simulate
+    and overwrite.
+
+    Matching is hash-first: when both ``expect`` and the manifest carry
+    a ``spec_hash`` (the canonical :meth:`repro.specs.RunSpec.spec_hash`
+    of the run's configuration), that single comparison decides.  A
+    manifest written before spec hashing existed (the PR-4 format) has
+    no recorded hash; it is then matched field-by-field on the
+    remaining ``expect`` keys, exactly as before — old run directories
+    stay resumable.
     """
     directory = Path(directory)
     if not (directory / MANIFEST_NAME).is_file():
@@ -193,7 +201,17 @@ def persisted_run_matches(directory: PathLike, expect: Dict[str, Any]) -> bool:
         if not manifest.get("complete") or manifest.get("summary") is None:
             return False
         run_info = manifest.get("run_info", {})
-        return all(run_info.get(key) == value for key, value in expect.items())
+        expected_hash = expect.get("spec_hash")
+        if expected_hash is not None and run_info.get("spec_hash") is not None:
+            return run_info["spec_hash"] == expected_hash
+        legacy = {
+            key: value for key, value in expect.items() if key != "spec_hash"
+        }
+        if expected_hash is not None and not legacy:
+            # a hash-only expectation cannot be answered by a pre-hash
+            # manifest: refuse rather than vacuously match everything
+            return False
+        return all(run_info.get(key) == value for key, value in legacy.items())
     except (SerializationError, TypeError, AttributeError):
         # malformed manifests (wrong types, hand-edits) are "no match",
         # never a crash — the caller's fallback is to re-simulate

@@ -1,0 +1,75 @@
+"""Canonical JSON and content hashing for specs.
+
+A spec's hash must depend only on *what the spec says*, never on how
+the dict that carried it happened to be ordered or which numeric NumPy
+scalar type a value arrived as.  :func:`canonical_json` therefore
+serializes with sorted keys, no insignificant whitespace, and all
+values normalised to plain Python types; :func:`content_hash` is the
+SHA-256 of that byte string.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any
+
+from ..errors import SpecError
+
+__all__ = ["canonical_json", "canonicalize", "content_hash"]
+
+
+def canonicalize(value: Any) -> Any:
+    """Normalise ``value`` into plain JSON-encodable Python types.
+
+    Dicts keep their (string) keys, sequences become lists, NumPy
+    scalars become Python scalars (via their ``item()``), and bools stay
+    bools.  Non-finite floats and unencodable objects raise
+    :class:`~repro.errors.SpecError` — a spec must be exactly
+    representable in JSON, or its hash would not survive a round-trip.
+    """
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SpecError(
+                    f"spec dict keys must be strings, got {key!r} "
+                    f"({type(key).__name__})"
+                )
+            out[key] = canonicalize(item)
+        return out
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(item) for item in value]
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise SpecError(f"spec values must be finite numbers, got {value!r}")
+        return float(value)
+    if isinstance(value, str):
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):  # NumPy scalars (np.int64, np.float64, np.bool_)
+        return canonicalize(item())
+    raise SpecError(
+        f"spec value {value!r} ({type(value).__name__}) is not JSON-representable"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """Serialize ``value`` deterministically (sorted keys, no whitespace)."""
+    return json.dumps(
+        canonicalize(value), sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    )
+
+
+def content_hash(value: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``value``.
+
+    Invariant under dict key order and NumPy-vs-Python scalar types by
+    construction; any *semantic* change to the value changes the hash.
+    """
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()

@@ -1,0 +1,123 @@
+"""Spec and parameter merging: dotted-key overrides over nested dicts.
+
+Two closely related operations live here:
+
+* :func:`apply_overrides` — layer ``{"dotted.key": value}`` overrides
+  (the CLI's ``--set``) on top of a nested spec dict, validating that
+  every addressed path exists (typos fail loudly) except inside the
+  free-form leaf dicts (``params``, ``metadata``, ``axes``, ``extras``)
+  where new keys are legitimate;
+* :func:`merge_params` — resolve an experiment's parameter dict from
+  its defaults and user overrides, rejecting unknown names.  This is
+  the single merge path :class:`repro.experiments.base.Experiment`
+  resolves through, replacing the raw ``{**defaults, **overrides}``
+  dict union.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Mapping, Tuple
+
+from ..errors import SpecError
+
+__all__ = ["apply_overrides", "merge_params", "split_dotted"]
+
+#: Dict-valued spec fields that accept keys not present in the base
+#: document: per-protocol/per-initial free parameters, user metadata,
+#: sweep axes and sweep-point extras.
+FREEFORM_KEYS = ("params", "metadata", "axes", "extras")
+
+
+def split_dotted(key: str) -> Tuple[str, ...]:
+    """Split a ``--set`` key on dots, rejecting empty path components."""
+    parts = tuple(key.split("."))
+    if not key or any(not part for part in parts):
+        raise SpecError(f"override key {key!r} is not a valid dotted path")
+    return parts
+
+
+def apply_overrides(
+    document: Mapping[str, Any], overrides: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """Return a deep copy of ``document`` with dotted overrides applied.
+
+    Every intermediate component of a dotted path must address an
+    existing dict.  The final component must already exist too — unless
+    its *parent* key is one of :data:`FREEFORM_KEYS`, which are
+    free-form by design.  This catches ``--set initial.nn=4000`` typos
+    while still allowing ``--set initial.params.bias=250`` to introduce
+    a parameter the scenario file left at its default.
+
+    Resolution is greedy against existing keys, so keys that themselves
+    contain dots stay addressable: ``--set "axes.initial.n=[...]"``
+    matches the sweep axis literally named ``initial.n`` (and inside a
+    free-form dict, an unmatched dotted remainder becomes one new key).
+    """
+    result = copy.deepcopy(dict(document))
+    for dotted, value in overrides.items():
+        parts = split_dotted(dotted)
+        node: Dict[str, Any] = result
+        position = 0
+        # once the path has descended *into* a free-form dict, every
+        # deeper level is free-form too (nested metadata/params trees)
+        in_freeform = False
+        while position < len(parts) - 1:
+            in_freeform = in_freeform or (
+                position > 0 and parts[position - 1] in FREEFORM_KEYS
+            )
+            remainder = ".".join(parts[position:])
+            if remainder in node:
+                break  # a literal key containing dots (e.g. a sweep axis)
+            part = parts[position]
+            if in_freeform and not isinstance(node.get(part), dict):
+                break  # new free-form key, dots and all
+            if not isinstance(node.get(part), dict):
+                raise SpecError(
+                    f"override {dotted!r} addresses "
+                    f"{'.'.join(parts[: position + 1])!r}, which is not a "
+                    "nested object in this spec"
+                )
+            node = node[part]
+            position += 1
+        in_freeform = in_freeform or (
+            position > 0 and parts[position - 1] in FREEFORM_KEYS
+        )
+        leaf = ".".join(parts[position:])
+        if leaf not in node and not in_freeform:
+            raise SpecError(
+                f"override {dotted!r} addresses unknown key {leaf!r}; "
+                f"existing keys here are {sorted(node)}"
+            )
+        node[leaf] = value
+    return result
+
+
+def merge_params(
+    defaults: Mapping[str, Any], overrides: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """Resolve a parameter dict from ``defaults`` and user ``overrides``.
+
+    Top-level override names must exist in ``defaults`` — unknown names
+    raise :class:`~repro.errors.SpecError` so typos fail loudly.
+    Dotted names (``persist.window``) update nested dict defaults
+    through :func:`apply_overrides`; flat names replace the default
+    value wholesale, exactly like the historical dict union did.
+    """
+    flat: Dict[str, Any] = {}
+    dotted: Dict[str, Any] = {}
+    for name, value in overrides.items():
+        (dotted if "." in name else flat)[name] = value
+    unknown = set(flat) - set(defaults)
+    unknown.update(
+        name for name in dotted if split_dotted(name)[0] not in defaults
+    )
+    if unknown:
+        raise SpecError(
+            f"unknown parameters {sorted(unknown)}; "
+            f"valid ones are {sorted(defaults)}"
+        )
+    merged = {**copy.deepcopy(dict(defaults)), **flat}
+    if dotted:
+        merged = apply_overrides(merged, dotted)
+    return merged

@@ -1,0 +1,484 @@
+"""Executing specs: ``run_spec`` and the scenario-file loaders.
+
+:func:`run_spec` is the declarative twin of the keyword
+:func:`repro.core.run.simulate`: it accepts a
+:class:`~repro.specs.model.RunSpec` (one run), an
+:class:`~repro.specs.ensemble.EnsembleSpec` (seed fan-out) or a
+:class:`~repro.specs.sweep.SweepSpec` (parameter grid on the sharded
+sweep executor) and runs it.  :func:`load_spec` /
+:func:`load_spec_file` turn a JSON document into the right spec class
+by its ``kind`` field — scenario files under ``examples/scenarios/``
+are exactly such documents.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import ReproError, SpecError
+
+# the filesystem-safe-slug rule is shared with the sweep checkpoint
+# naming, so per-point persist directories and checkpoint files for
+# the same point can never slugify differently
+from ..sweep.plan import _SLUG_UNSAFE
+from .ensemble import EnsembleSpec
+from .model import RunSpec
+from .sweep import SweepSpec
+
+__all__ = [
+    "EnsembleRun",
+    "SweepSpecRun",
+    "load_spec",
+    "load_spec_file",
+    "normalize_run",
+    "run_spec",
+    "summary_row",
+]
+
+AnySpec = Union[RunSpec, EnsembleSpec, SweepSpec]
+
+_KINDS = {
+    "run": RunSpec,
+    "ensemble": EnsembleSpec,
+    "sweep": SweepSpec,
+}
+
+
+def load_spec(payload: Mapping[str, Any]) -> AnySpec:
+    """Build the spec a JSON-style document describes (by its ``kind``)."""
+    if not isinstance(payload, Mapping):
+        raise SpecError(
+            f"a spec document must be an object, got {type(payload).__name__}"
+        )
+    kind = payload.get("kind")
+    cls = _KINDS.get(kind)
+    if cls is None:
+        raise SpecError(
+            f"spec document has kind {kind!r}; expected one of {sorted(_KINDS)}"
+        )
+    return cls.from_dict(payload)
+
+
+def load_spec_file(path: Union[str, Path]) -> AnySpec:
+    """Read and validate a scenario file (JSON)."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise SpecError(f"could not read spec file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"spec file {path} is not valid JSON: {exc}") from exc
+    return load_spec(payload)
+
+
+# ----------------------------------------------------------------------
+# Keyword-form normalisation
+# ----------------------------------------------------------------------
+
+
+def normalize_run(
+    protocol: Any,
+    initial: Any,
+    *,
+    engine: str = "auto",
+    seed: Any = None,
+    backend: Optional[str] = None,
+    max_interactions: Optional[int] = None,
+    max_parallel_time: Optional[float] = None,
+    snapshot_every: Optional[int] = None,
+    stop: Any = None,
+    stop_when_stable: bool = True,
+    record_async: bool = False,
+    persist_to: Any = None,
+    persist_chunk_snapshots: Optional[int] = None,
+    persist_window: Optional[int] = None,
+    metadata: Optional[Mapping[str, Any]] = None,
+    engine_kwargs: Optional[Mapping[str, Any]] = None,
+) -> Optional[RunSpec]:
+    """Normalise keyword ``simulate`` arguments into a :class:`RunSpec`.
+
+    Returns ``None`` when the call is not declaratively representable:
+    an unregistered protocol class, a non-integer seed, a callable stop
+    predicate, ``stop_when_stable=False`` or extra engine kwargs.  The
+    keyword form still runs those — it just cannot hash them.
+    """
+    from ..core.configuration import Configuration
+    from .model import InitialSpec, ProtocolSpec, RecordingSpec
+
+    if stop is not None or not stop_when_stable or engine_kwargs:
+        return None
+    if seed is not None:
+        # NumPy integer scalars are integers too (seed=np.int64(7) is
+        # a common pattern when seeding from arrays); Generators and
+        # other SeedLike values are not declaratively representable
+        if isinstance(seed, bool) or not isinstance(seed, (int, np.integer)):
+            return None
+        seed = int(seed)
+    protocol_spec = ProtocolSpec.from_protocol(protocol)
+    if protocol_spec is None:
+        return None
+    try:
+        if isinstance(initial, Configuration):
+            initial_spec = InitialSpec.from_configuration(initial)
+        else:
+            try:
+                counts = [int(c) for c in initial]
+            except (TypeError, ValueError):
+                return None
+            initial_spec = InitialSpec(
+                kind="state-counts", n=sum(counts), params={"counts": counts}
+            )
+        jsonable_metadata = (
+            {} if metadata is None else dict(metadata)
+        )
+        spec = RunSpec(
+            protocol=protocol_spec,
+            initial=initial_spec,
+            engine=engine,
+            backend=backend,
+            seed=seed,
+            max_interactions=max_interactions,
+            max_parallel_time=max_parallel_time,
+            stop_when_stable=stop_when_stable,
+            recording=RecordingSpec(
+                snapshot_every=snapshot_every,
+                record_async=record_async,
+                persist_to=None if persist_to is None else str(persist_to),
+                persist_chunk_snapshots=persist_chunk_snapshots,
+                persist_window=persist_window,
+            ),
+            metadata=jsonable_metadata,
+        )
+        spec.spec_hash()  # canonicalisation must succeed up front
+        return spec
+    except ReproError:
+        # non-JSON-able metadata, mismatched counts, invalid horizons,
+        # ...: the keyword form remains runnable (its own validation
+        # reports the error), it just is not declaratively hashable
+        return None
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EnsembleRun:
+    """Everything one :class:`EnsembleSpec` execution produced."""
+
+    spec_hash: str
+    seeds: Tuple[int, ...]
+    results: Tuple[Any, ...]
+    rows: Tuple[Dict[str, Any], ...]
+
+
+@dataclass(frozen=True)
+class SweepSpecRun:
+    """Everything one :class:`SweepSpec` execution produced.
+
+    ``artifacts`` lists the ``merged.json`` / ``provenance.json`` paths
+    written when a full (unsharded) run checkpointed to an ``out``
+    directory — the provenance embeds the root spec document.
+    """
+
+    spec_hash: str
+    sweep_id: str
+    rows: Tuple[Dict[str, Any], ...]
+    partial: bool
+    artifacts: Tuple[Path, ...] = ()
+
+
+def run_spec(
+    spec: AnySpec,
+    *,
+    workers: Optional[int] = 0,
+    shard: Any = None,
+    out: Union[None, str, Path] = None,
+    resume: bool = False,
+):
+    """Execute any spec.
+
+    * :class:`RunSpec` → a :class:`~repro.core.run.RunResult` (or a
+      :class:`~repro.gossip.run.GossipRunResult` for gossip protocols);
+      ``workers``/``shard``/``out``/``resume`` do not apply.
+    * :class:`EnsembleSpec` → an :class:`EnsembleRun`; ``workers`` fans
+      members over the process pool (bit-identical for every count).
+    * :class:`SweepSpec` → a :class:`SweepSpecRun`; the grid runs on
+      the sharded sweep executor with per-point checkpoints under
+      ``out``, honouring ``shard``/``resume``/``workers`` exactly like
+      ``repro sweep run``.
+    """
+    if isinstance(spec, RunSpec):
+        if shard is not None or out is not None or resume:
+            raise SpecError(
+                "shard/out/resume apply to sweep specs, not single runs"
+            )
+        if workers not in (0, None):
+            # nothing fans out in a single run: accepting the argument
+            # would let the caller believe parallelism is in effect
+            raise SpecError(
+                "workers applies to ensemble/sweep specs; a single run "
+                "has nothing to fan out"
+            )
+        return _run_single(spec)
+    if isinstance(spec, EnsembleSpec):
+        if shard is not None or out is not None or resume:
+            raise SpecError(
+                "shard/out/resume apply to sweep specs, not ensembles"
+            )
+        return _run_ensemble(spec, workers=workers)
+    if isinstance(spec, SweepSpec):
+        return _run_sweep(
+            spec, workers=workers, shard=shard, out=out, resume=resume
+        )
+    raise SpecError(
+        f"run_spec expects a RunSpec/EnsembleSpec/SweepSpec, got "
+        f"{type(spec).__name__}"
+    )
+
+
+def _resume_persisted(spec: RunSpec):
+    """Answer a persisting run from its completed on-disk stream, if any.
+
+    A spec whose recording names a ``persist_to`` directory that already
+    holds a *complete* stream with the same ``spec_hash`` is answered
+    from the stream's summary without re-simulating — the stream was
+    written by the identical run.  The rebuilt result carries the same
+    summary numbers and the same tail-window snapshots; only
+    execution-provenance details (``wall_seconds`` is the original
+    run's, trace bookkeeping metadata) reflect the recorded run.
+    Returns ``None`` when there is nothing resumable (then the caller
+    simulates and overwrites).
+    """
+    run_dir = spec.recording.persist_to
+    if run_dir is None or spec.protocol.model == "gossip":
+        return None
+    if spec.seed is None:
+        # an unseeded run draws fresh OS entropy every time: two
+        # executions are logically independent random runs, so a cached
+        # stream must never answer for a new one
+        return None
+    from ..errors import SerializationError
+    from ..io.streaming import StreamedTrace, persisted_run_matches
+
+    if not persisted_run_matches(run_dir, {"spec_hash": spec.spec_hash()}):
+        return None
+    try:
+        from ..core.run import RunResult
+
+        stream = StreamedTrace(run_dir)
+        summary = stream.summary or {}
+        window = int(stream.manifest.get("window_snapshots") or 1)
+        tail = stream[max(0, len(stream) - window) :]
+        return RunResult(
+            trace=tail,
+            final_counts=np.asarray(summary["final_counts"], dtype=np.int64),
+            interactions=int(summary["interactions"]),
+            parallel_time=float(summary["parallel_time"]),
+            stabilized=bool(summary["stabilized"]),
+            stabilization_interactions=summary["stabilization_interactions"],
+            winner=summary["winner"],
+            engine_name=str(stream.run_info.get("engine", "unknown")),
+            wall_seconds=float(summary.get("wall_seconds", 0.0)),
+            metadata=dict(stream.run_info.get("metadata", {})),
+            persist_dir=Path(run_dir),
+        )
+    except (SerializationError, KeyError, TypeError, ValueError):
+        # a half-believable directory is "not resumable", never a crash:
+        # the fallback below re-simulates and overwrites it
+        return None
+
+
+def _run_single(spec: RunSpec):
+    """One run: dispatch to the population or gossip front-end."""
+    if spec.protocol.model == "gossip":
+        from ..gossip.run import simulate_gossip
+
+        return simulate_gossip(
+            spec.build_protocol(),
+            spec.build_initial(),
+            seed=spec.seed,
+            max_rounds=spec.resolved_horizon(),
+            snapshot_every=spec.resolved_snapshot_every(),
+            metadata={**spec.metadata, "spec_hash": spec.spec_hash()},
+        )
+    resumed = _resume_persisted(spec)
+    if resumed is not None:
+        return resumed
+    from ..core.run import simulate
+
+    recording = spec.recording
+    return simulate(
+        spec.build_protocol(),
+        spec.build_initial(),
+        engine=spec.engine,
+        seed=spec.seed,
+        backend=spec.backend,
+        max_interactions=spec.max_interactions,
+        max_parallel_time=spec.max_parallel_time,
+        snapshot_every=recording.snapshot_every,
+        stop_when_stable=spec.stop_when_stable,
+        record_async=recording.record_async,
+        persist_to=recording.persist_to,
+        persist_chunk_snapshots=recording.persist_chunk_snapshots,
+        persist_window=recording.persist_window,
+        metadata=dict(spec.metadata) or None,
+        _spec=spec,
+    )
+
+
+def summary_row(result: Any) -> Dict[str, Any]:
+    """The scalar summary of a run result, model-agnostic.
+
+    Population results report interactions and parallel time; gossip
+    results report rounds (their parallel-time analogue).  Comparison
+    sweeps across both model families rely on the shared vocabulary.
+    """
+    # wall_seconds is deliberately absent: summary rows feed sweep
+    # checkpoints, whose merged artifact must be bit-identical across
+    # re-executions — wall time is execution provenance, not a result
+    row: Dict[str, Any] = {
+        "stabilized": bool(result.stabilized),
+        "winner": result.winner,
+    }
+    if hasattr(result, "rounds"):  # gossip
+        row["rounds"] = int(result.rounds)
+        row["parallel_time"] = float(result.rounds)
+        row["stabilization_parallel_time"] = (
+            None
+            if result.stabilization_rounds is None
+            else float(result.stabilization_rounds)
+        )
+    else:
+        row["interactions"] = int(result.interactions)
+        row["parallel_time"] = float(result.parallel_time)
+        row["stabilization_parallel_time"] = result.stabilization_parallel_time
+    return row
+
+
+class _MemberTask:
+    """Picklable adapter running one ensemble member by index."""
+
+    def __init__(self, spec: EnsembleSpec):
+        self.spec = spec
+
+    def __call__(self, index: int):
+        return run_spec(self.spec.member_spec(index))
+
+
+def _run_ensemble(spec: EnsembleSpec, *, workers: Optional[int] = 0) -> EnsembleRun:
+    from ..parallel import parallel_map
+
+    results = parallel_map(
+        _MemberTask(spec), list(range(spec.num_runs)), workers=workers
+    )
+    rows = []
+    for index, result in enumerate(results):
+        rows.append(
+            {
+                "member": index,
+                "seed": spec.member_seed(index),
+                **summary_row(result),
+            }
+        )
+    return EnsembleRun(
+        spec_hash=spec.spec_hash(),
+        seeds=tuple(spec.member_seed(i) for i in range(spec.num_runs)),
+        results=tuple(results),
+        rows=tuple(rows),
+    )
+
+
+def _point_run_spec(point: Any, point_seed: int) -> RunSpec:
+    """The seeded, persistence-disambiguated spec of one sweep point."""
+    spec = point.run_spec
+    if spec is None:
+        raise SpecError(
+            f"sweep point {point.canonical_label!r} carries no RunSpec; "
+            "only plans built by SweepSpec.plan() run through run_spec"
+        )
+    spec = spec.with_seed(point_seed)
+    recording = spec.recording
+    if recording.persist_to is not None:
+        # the slug is for humans; the label-hash suffix guarantees two
+        # points whose labels differ only in slug-unsafe characters can
+        # never stream into the same directory (the checkpoint layer
+        # gets the same guarantee from its grid-index prefix)
+        slug = _SLUG_UNSAFE.sub("-", point.canonical_label)
+        unique = hashlib.sha256(
+            point.canonical_label.encode("utf-8")
+        ).hexdigest()[:8]
+        spec = spec.with_recording(
+            replace(
+                recording,
+                persist_to=(
+                    f"{recording.persist_to.rstrip('/')}/{slug}-{unique}"
+                ),
+            )
+        )
+    return spec
+
+
+def _sweep_point_task(point: Any, point_seed: int) -> Dict[str, Any]:
+    """Module-level (picklable) task computing one spec-sweep point."""
+    spec = _point_run_spec(point, point_seed)
+    result = run_spec(spec)
+    return {
+        **{str(axis): value for axis, value in sorted(point.extras.items())},
+        "n": spec.n,
+        "k": spec.protocol.k,
+        "protocol": spec.protocol.name,
+        "seed": point_seed,
+        "spec_hash": spec.spec_hash(),
+        **summary_row(result),
+    }
+
+
+def _run_sweep(
+    spec: SweepSpec,
+    *,
+    workers: Optional[int] = 0,
+    shard: Any = None,
+    out: Union[None, str, Path] = None,
+    resume: bool = False,
+) -> SweepSpecRun:
+    from ..sweep import ShardSpec, run_sweep
+
+    shard_spec = ShardSpec.parse(shard)
+    if not shard_spec.is_full and out is None:
+        raise SpecError(
+            f"shard {shard_spec} of sweep {spec.sweep_id!r} needs an 'out' "
+            "checkpoint directory — without one the shard cannot be merged"
+        )
+    plan = spec.plan()
+    run = run_sweep(
+        plan,
+        _sweep_point_task,
+        shard=shard_spec,
+        workers=workers,
+        out_dir=out,
+        resume=resume,
+    )
+    artifacts: Tuple[Path, ...] = ()
+    if out is not None and shard_spec.is_full:
+        # a complete checkpointed sweep merges immediately: merged.json
+        # (bit-identical per sharding) + provenance.json embedding the
+        # root spec document and hash via the plan meta
+        from ..sweep import merge_sweep, write_merged_artifact
+
+        merged = merge_sweep(plan, out)
+        artifacts = tuple(write_merged_artifact(merged, out))
+    return SweepSpecRun(
+        spec_hash=spec.spec_hash(),
+        sweep_id=spec.sweep_id,
+        rows=tuple(run.rows),
+        partial=not shard_spec.is_full,
+        artifacts=artifacts,
+    )

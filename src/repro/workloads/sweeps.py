@@ -45,6 +45,12 @@ class SweepPoint:
         Short human-readable identifier for tables.
     extras:
         Free-form per-point parameters (e.g. the gap α for Lemma 3.4).
+    run_spec:
+        Optional fully-resolved :class:`repro.specs.RunSpec` of this
+        point (set by declarative :class:`repro.specs.SweepSpec` plans;
+        ``None`` for hand-built experiment grids).  It is execution
+        payload, not identity: the canonical label — what checkpoints
+        and merges key on — never includes it.
     """
 
     n: int
@@ -52,6 +58,7 @@ class SweepPoint:
     bias: int
     label: str = ""
     extras: dict = field(default_factory=dict)
+    run_spec: object = None
 
     def __post_init__(self) -> None:
         if self.n < 2 or self.k < 1 or self.bias < 0:

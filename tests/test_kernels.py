@@ -43,8 +43,11 @@ class TestRegistry:
         assert set(available_backends()) <= set(registered_backends())
         assert {"numpy", "numba"} <= set(registered_backends())
 
-    def test_default_is_numpy(self):
-        assert default_backend() == "numpy"
+    def test_default_prefers_numba_when_available(self):
+        # numba is the 'auto' resolution when importable (it is
+        # bit-identity self-checked at load); numpy otherwise
+        expected = "numba" if _numba_available() else "numpy"
+        assert default_backend() == expected
 
     def test_aliases_resolve_to_default(self):
         for alias in (None, "auto", "default"):
