@@ -1,0 +1,124 @@
+"""Benchmark ``fidelity-speedup``: the adaptive-fidelity answer tier.
+
+The surrogate tier's value proposition is concrete: a TRUSTED verdict
+answers a run *without simulating it*, in milliseconds that do not grow
+with n, where the exact engines pay wall time proportional to
+n · (consensus parallel time).  This module measures both sides at
+n ∈ {10⁶, 10⁸} (the paper's Figure 1 scale and two decades past it):
+
+* surrogate resolve latency through the public ``run_spec`` surface,
+  scipy import and integrator warmed first — the steady-state cost of
+  one more surrogate answer, asserting the verdict actually is TRUSTED
+  and the result came from the mean-field resolver;
+* exact wall time, *extrapolated* from a short measured engine slice
+  (running n = 10⁸ to consensus for a benchmark would take hours —
+  the point of the tier — so the exact side is slice throughput ×
+  predicted consensus interactions).
+
+Both land in ``benchmarks/results/history/`` next to the engine
+throughput trajectories.  ``BENCH_SMOKE=1`` shrinks to {10⁵, 10⁶} and
+records under a separate history name, like the other benchmarks.
+"""
+
+import math
+import os
+import time
+
+from history import record_benchmark
+
+from repro.core.run import simulate
+from repro.protocols import UndecidedStateDynamics
+from repro.specs import InitialSpec, ProtocolSpec, RunSpec, run_spec
+from repro.workloads import paper_initial_configuration
+
+BENCH_SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+POPULATIONS = (100_000, 1_000_000) if BENCH_SMOKE else (1_000_000, 100_000_000)
+K = 3
+#: Exact-engine slice measured per population (parallel time); the full
+#: exact cost is extrapolated from this slice's throughput.
+SLICE_PARALLEL_TIME = 0.5
+
+
+def _trusted_spec(n: int) -> RunSpec:
+    """A spec whose initial gap dominates the fluctuation scale.
+
+    Bias 4·√(n ln n) puts the top-two gap at ≈ 4 fluctuation radii —
+    comfortably past the TRUSTED threshold (3) at every benchmarked n.
+    """
+    bias = 4 * math.ceil(math.sqrt(n * math.log(n)))
+    return RunSpec(
+        protocol=ProtocolSpec(name="usd", k=K),
+        initial=InitialSpec(
+            kind="equal-minorities", n=n, params={"bias": bias}
+        ),
+        seed=7,
+        max_parallel_time=500.0,
+        fidelity="surrogate",
+    )
+
+
+def _exact_slice_rate(n: int) -> float:
+    """Interactions/second of the exact tier on this workload (warmed)."""
+    protocol = UndecidedStateDynamics(k=K)
+    config = paper_initial_configuration(n, K)
+    simulate(  # warm-up: numba compilation / allocator, not billed
+        protocol, config, seed=1, max_parallel_time=SLICE_PARALLEL_TIME / 5
+    )
+    started = time.perf_counter()
+    result = simulate(
+        protocol, config, seed=7, max_parallel_time=SLICE_PARALLEL_TIME
+    )
+    elapsed = max(time.perf_counter() - started, 1e-9)
+    return result.interactions / elapsed
+
+
+def test_fidelity_speedup(benchmark):
+    # Warm the integrator once: scipy's import (~seconds, paid once per
+    # process) must not be billed to the steady-state resolve latency.
+    run_spec(_trusted_spec(POPULATIONS[0]))
+
+    def run():
+        metrics = {}
+        for n in POPULATIONS:
+            spec = _trusted_spec(n)
+            started = time.perf_counter()
+            surrogate = run_spec(spec)
+            resolve_seconds = time.perf_counter() - started
+
+            fidelity = surrogate.metadata["fidelity"]
+            assert fidelity["verdict"] == "TRUSTED", (
+                f"benchmark spec must resolve TRUSTED at n={n}, "
+                f"got {fidelity['verdict']}"
+            )
+            assert surrogate.metadata["engine"] == "meanfield"
+            assert surrogate.stabilized
+
+            consensus = surrogate.stabilization_parallel_time
+            rate = _exact_slice_rate(n)
+            exact_seconds = consensus * n / rate
+            metrics[f"surrogate_resolve_seconds_n{n}"] = resolve_seconds
+            metrics[f"exact_extrapolated_seconds_n{n}"] = exact_seconds
+            metrics[f"speedup_n{n}"] = exact_seconds / max(
+                resolve_seconds, 1e-9
+            )
+            metrics[f"consensus_parallel_time_n{n}"] = consensus
+        return metrics
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    history_name = (
+        "fidelity-speedup-smoke" if BENCH_SMOKE else "fidelity-speedup"
+    )
+    record_benchmark(history_name, metrics)
+    print()
+    for n in POPULATIONS:
+        print(
+            f"n={n:>11,}: surrogate "
+            f"{metrics[f'surrogate_resolve_seconds_n{n}'] * 1e3:8.1f} ms, "
+            f"exact ≈ {metrics[f'exact_extrapolated_seconds_n{n}']:10.1f} s "
+            f"(speedup {metrics[f'speedup_n{n}']:,.0f}x)"
+        )
+    largest = POPULATIONS[-1]
+    assert metrics[f"surrogate_resolve_seconds_n{largest}"] < 1.0, (
+        "warm surrogate resolve latency must stay far from engine "
+        "timescales"
+    )

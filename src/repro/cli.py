@@ -161,10 +161,76 @@ def build_parser() -> argparse.ArgumentParser:
             "disk are resumed instead of re-simulated"
         ),
     )
+    run.add_argument(
+        "--fidelity",
+        choices=("exact", "surrogate", "auto"),
+        default=None,
+        help=(
+            "answer tier: 'exact' runs the engines, 'surrogate' the "
+            "mean-field fluid limit, 'auto' uses the surrogate only when "
+            "its validity verdict is TRUSTED (escalates otherwise)"
+        ),
+    )
 
     commands.add_parser(
         "backends", help="list compute-kernel backends and their availability"
     )
+
+    meanfield = commands.add_parser(
+        "meanfield",
+        help=(
+            "mean-field surrogate tools for a scenario file: solve / "
+            "fixed-points / timescales"
+        ),
+    )
+    meanfield_commands = meanfield.add_subparsers(
+        dest="meanfield_command", required=True
+    )
+    for name, description in (
+        (
+            "solve",
+            "resolve the scenario on the surrogate tier and print the "
+            "validity verdict",
+        ),
+        (
+            "fixed-points",
+            "classify the USD fluid-limit fixed points at the scenario's k",
+        ),
+        (
+            "timescales",
+            "print the ODE-predicted plateau/doubling/consensus times",
+        ),
+    ):
+        sub = meanfield_commands.add_parser(name, help=description)
+        sub.add_argument(
+            "spec_file", type=Path, help="a JSON scenario file (see --spec)"
+        )
+        sub.add_argument(
+            "--set",
+            dest="overrides",
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help="apply a dotted override before resolving",
+        )
+        if name == "timescales":
+            sub.add_argument(
+                "--horizon",
+                type=float,
+                default=None,
+                metavar="T",
+                help=(
+                    "integration horizon in parallel time (default: the "
+                    "scenario's own horizon)"
+                ),
+            )
+            sub.add_argument(
+                "--tolerance",
+                type=float,
+                default=1e-3,
+                metavar="EPS",
+                help="event tolerance in fraction units (default 1e-3)",
+            )
 
     spec = commands.add_parser(
         "spec", help="inspect scenario files: show / validate / hash"
@@ -312,6 +378,15 @@ def build_parser() -> argparse.ArgumentParser:
                     "DIR; complete runs on disk are resumed, not re-run"
                 ),
             )
+            sub.add_argument(
+                "--fidelity",
+                choices=("exact", "surrogate", "auto"),
+                default=None,
+                help=(
+                    "answer tier for the grid points (surrogate / auto "
+                    "resolve on the mean-field fluid limit when trustworthy)"
+                ),
+            )
 
     certify = commands.add_parser(
         "certify",
@@ -365,12 +440,14 @@ def _spec_with_cli_overrides(
     overrides: Dict[str, Any],
     backend: Optional[str],
     persist: Optional[Path],
+    fidelity: Optional[str] = None,
 ) -> Any:
-    """Layer ``--set`` / ``--backend`` / ``--persist`` onto a spec.
+    """Layer ``--set`` / ``--backend`` / ``--persist`` / ``--fidelity``
+    onto a spec.
 
-    ``--backend`` and ``--persist`` address the run template of
-    whichever spec kind was loaded (the run itself, an ensemble's
-    ``run``, a sweep's ``base``); explicit ``--set`` keys win.
+    The implied flags address the run template of whichever spec kind
+    was loaded (the run itself, an ensemble's ``run``, a sweep's
+    ``base``); explicit ``--set`` keys win.
     """
     from .specs import apply_overrides, load_spec
 
@@ -381,6 +458,8 @@ def _spec_with_cli_overrides(
         implied[f"{prefix}backend"] = backend
     if persist is not None:
         implied[f"{prefix}recording.persist_to"] = str(persist)
+    if fidelity is not None:
+        implied[f"{prefix}fidelity"] = fidelity
     merged = {**implied, **overrides}
     if not merged:
         return spec_obj
@@ -388,19 +467,32 @@ def _spec_with_cli_overrides(
 
 
 def _print_run_result(result: Any) -> None:
-    """Human summary of a single spec run (population or gossip)."""
+    """Human summary of a single spec run (population, gossip, surrogate)."""
     print(f"stabilized       {result.stabilized}")
     print(f"winner           {result.winner}")
-    if hasattr(result, "rounds"):
+    if getattr(result, "rounds", None) is not None:
         print(f"rounds           {result.rounds}")
         print(f"stab. rounds     {result.stabilization_rounds}")
     else:
         print(f"interactions     {result.interactions}")
         print(f"parallel time    {result.parallel_time:.2f}")
         print(f"stab. time       {result.stabilization_parallel_time}")
-        if result.persist_dir is not None:
+        if getattr(result, "persist_dir", None) is not None:
             print(f"persisted to     {result.persist_dir}")
     print(f"wall seconds     {result.wall_seconds:.3f}")
+    fidelity = result.metadata.get("fidelity")
+    if fidelity is not None:
+        print(
+            f"fidelity         {fidelity.get('requested')} -> "
+            f"{fidelity.get('resolved')} (verdict: {fidelity.get('verdict')})"
+        )
+        reasons = (
+            fidelity.get("reasons")
+            or fidelity.get("report", {}).get("reasons")
+            or []
+        )
+        for reason in reasons:
+            print(f"  reason         {reason}")
     spec_hash = result.metadata.get("spec_hash")
     if spec_hash is not None:
         print(f"spec hash        {spec_hash}")
@@ -412,7 +504,11 @@ def _run_spec_file(args: Any) -> None:
 
     spec_obj = load_spec_file(args.spec)
     spec_obj = _spec_with_cli_overrides(
-        spec_obj, parse_overrides(args.overrides), args.backend, args.persist
+        spec_obj,
+        parse_overrides(args.overrides),
+        args.backend,
+        args.persist,
+        args.fidelity,
     )
     result = run_spec(
         spec_obj,
@@ -432,6 +528,13 @@ def _run_spec_file(args: Any) -> None:
         if result.rows:
             print(format_table(list(result.rows), title=f"sweep {result.sweep_id}"))
         print(f"spec hash        {result.spec_hash}")
+        if result.escalated:
+            print(
+                f"escalated to exact ({len(result.escalated)} of "
+                f"{len(result.rows)} points):"
+            )
+            for label in result.escalated:
+                print(f"  {label}")
         if result.partial:
             print(
                 "partial sweep: run the remaining shards with the same "
@@ -463,6 +566,103 @@ def _run_spec_inspect(args: Any) -> None:
         )
     else:  # hash
         print(spec_obj.spec_hash())
+
+
+def _meanfield_template_spec(args: Any):
+    """The single-run template of whatever scenario kind was given."""
+    from .specs import EnsembleSpec, RunSpec, SweepSpec, load_spec_file
+
+    spec_obj = load_spec_file(args.spec_file)
+    spec_obj = _spec_with_cli_overrides(
+        spec_obj, parse_overrides(args.overrides), None, None
+    )
+    if isinstance(spec_obj, RunSpec):
+        return spec_obj
+    if isinstance(spec_obj, EnsembleSpec):
+        return spec_obj.run
+    if isinstance(spec_obj, SweepSpec):
+        return spec_obj.base
+    raise ReproError(
+        f"unsupported spec kind {type(spec_obj).__name__} for meanfield tools"
+    )
+
+
+def _run_meanfield_command(args: Any) -> None:
+    from .meanfield import (
+        classify_fixed_point,
+        consensus_fixed_point,
+        predict_timescales,
+        resolve_surrogate,
+        symmetric_interior_fixed_point,
+        undecided_fixed_point_fraction,
+        undecided_plateau_fraction,
+    )
+
+    spec = _meanfield_template_spec(args)
+    if args.meanfield_command == "solve":
+        result = resolve_surrogate(spec)
+        report = result.validity
+        print(f"protocol         {spec.protocol.name} (k={spec.protocol.k})")
+        print(f"n                {spec.n}")
+        print(f"bias margin      {report.bias_margin:.3f}")
+        print(f"fluct. scale     {report.fluctuation_fraction:.3g}")
+        coverage = report.horizon_coverage
+        print(
+            "horizon cover    "
+            + ("not reached" if coverage == float("inf") else f"{coverage:.3f}")
+        )
+        _print_run_result(result)
+        times = result.timescales
+        if times is not None:
+            print(f"plateau entry    {times.plateau_entry}")
+            print(f"maj. doubling    {times.majority_doubling}")
+            print(f"consensus        {times.consensus}")
+        return
+
+    k = spec.protocol.k
+    if args.meanfield_command == "fixed-points":
+        v_star = undecided_fixed_point_fraction(k)
+        print(f"k                    {k}")
+        print(f"undecided v*         {v_star:.6f}  ((k-1)/(2k-1))")
+        print(
+            f"paper plateau        {undecided_plateau_fraction(k):.6f}"
+            "  (1/2 - 1/(4k))"
+        )
+        for label, point in (
+            ("symmetric interior", symmetric_interior_fixed_point(k)),
+            ("consensus (winner 1)", consensus_fixed_point(k)),
+        ):
+            cls = classify_fixed_point(point)
+            status = "stable" if cls.stable else "unstable"
+            print(
+                f"{label:<20} {status} "
+                f"({cls.unstable_directions} unstable directions)"
+            )
+        return
+
+    # timescales
+    from .core.configuration import Configuration
+
+    if spec.protocol.name != "usd":
+        raise ReproError(
+            "meanfield timescales integrate the USD fluid limit; the "
+            f"scenario's protocol is {spec.protocol.name!r}"
+        )
+    horizon = args.horizon
+    if horizon is None:
+        horizon = spec.resolved_horizon() / spec.n
+    initial = Configuration.from_state_counts(
+        list(spec.canonical_state_counts())
+    )
+    times = predict_timescales(
+        initial, horizon=horizon, tolerance=args.tolerance
+    )
+    print(f"horizon              {times.horizon:g} parallel time")
+    print(f"plateau entry        {times.plateau_entry}")
+    print(f"majority doubling    {times.majority_doubling}")
+    print(f"consensus            {times.consensus}")
+    ratio = times.doubling_fraction_of_consensus
+    print(f"doubling/consensus   {None if ratio is None else round(ratio, 4)}")
 
 
 def _sweep_experiment_class(experiment_id: str):
@@ -516,6 +716,8 @@ def _run_sweep_command(args: Any) -> None:
             overrides["backend"] = args.backend
         if args.persist is not None:
             overrides["persist"] = args.persist
+        if args.fidelity is not None:
+            overrides["fidelity"] = args.fidelity
         result = experiment_cls(**overrides).run()
         if result.rows:
             print(render_result(result, plots=False))
@@ -657,6 +859,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 overrides["backend"] = args.backend
             if args.persist is not None:
                 overrides["persist"] = args.persist
+            if args.fidelity is not None:
+                overrides["fidelity"] = args.fidelity
             if args.experiment_id == "all":
                 for experiment_id in sorted(EXPERIMENTS):
                     print(f"=== {experiment_id} ===")
@@ -678,6 +882,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print()
         elif args.command == "spec":
             _run_spec_inspect(args)
+        elif args.command == "meanfield":
+            _run_meanfield_command(args)
         elif args.command == "sweep":
             _run_sweep_command(args)
         elif args.command == "trace":

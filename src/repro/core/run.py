@@ -192,6 +192,7 @@ def simulate(
     engine: str = "auto",
     seed: SeedLike = None,
     backend: Optional[str] = None,
+    fidelity: str = "exact",
     max_interactions: Optional[int] = None,
     max_parallel_time: Optional[float] = None,
     snapshot_every: Optional[int] = None,
@@ -215,6 +216,15 @@ def simulate(
     no callable ``stop``), they are normalised into a ``RunSpec`` whose
     ``spec_hash`` lands in the result metadata and the persistence
     manifest; results are bit-identical between the two forms.
+
+    ``fidelity`` selects the answer tier: ``'exact'`` (default) runs
+    the engines below, ``'surrogate'`` resolves the run on the
+    mean-field fluid limit (:mod:`repro.meanfield.surrogate`, failing
+    loudly when the protocol has no surrogate or scipy is missing), and
+    ``'auto'`` answers from the surrogate only when its validity
+    verdict is TRUSTED, escalating to the exact engines otherwise.
+    Non-exact tiers require the declaratively representable form — they
+    dispatch through :func:`repro.specs.run_spec`'s resolver table.
 
     Exactly one horizon must be given, either ``max_interactions`` or
     ``max_parallel_time`` (converted as ``round(t * n)``).  The run ends
@@ -240,7 +250,7 @@ def simulate(
     ``persist_chunk_snapshots``/``persist_window`` without
     ``persist_to`` raise instead of being silently ignored.
     """
-    from ..specs import RunSpec, normalize_run, run_spec
+    from ..specs import FIDELITY_NAMES, RunSpec, normalize_run, run_spec
 
     if isinstance(protocol, RunSpec):
         # the spec IS the whole configuration: every other argument
@@ -253,6 +263,7 @@ def simulate(
                 ("engine", engine, "auto"),
                 ("seed", seed, None),
                 ("backend", backend, None),
+                ("fidelity", fidelity, "exact"),
                 ("max_interactions", max_interactions, None),
                 ("max_parallel_time", max_parallel_time, None),
                 ("snapshot_every", snapshot_every, None),
@@ -291,6 +302,11 @@ def simulate(
             "they would be silently ignored"
         )
 
+    if fidelity not in FIDELITY_NAMES:
+        raise SimulationError(
+            f"unknown fidelity {fidelity!r}; choose from {list(FIDELITY_NAMES)}"
+        )
+
     spec = _spec
     if spec is None:
         spec = normalize_run(
@@ -299,6 +315,7 @@ def simulate(
             engine=engine,
             seed=seed,
             backend=backend,
+            fidelity=fidelity,
             max_interactions=max_interactions,
             max_parallel_time=max_parallel_time,
             snapshot_every=snapshot_every,
@@ -311,6 +328,19 @@ def simulate(
             metadata=metadata,
             engine_kwargs=engine_kwargs,
         )
+
+    if fidelity != "exact":
+        # the non-exact tiers resolve through the fidelity table, which
+        # needs a declarative identity to reason about; keyword calls
+        # that cannot normalise (unregistered protocol, callable stop,
+        # generator seed) have no surrogate representation
+        if spec is None:
+            raise SimulationError(
+                f"fidelity {fidelity!r} needs a declaratively representable "
+                "run (registered protocol, integer seed, no callable stop); "
+                "this call only runs at fidelity='exact'"
+            )
+        return run_spec(spec)
 
     eng = make_engine(
         protocol, initial, engine=engine, seed=seed, backend=backend, **engine_kwargs

@@ -115,7 +115,11 @@ class Experiment(abc.ABC):
     experiments that record member trajectories — a persisted member
     whose streamed trace is already complete on disk is *resumed* from
     it instead of re-simulated; experiments without trajectory
-    recording accept and ignore it.
+    recording accept and ignore it.  ``fidelity`` selects the answer
+    tier (:data:`repro.specs.FIDELITY_NAMES`) for experiments whose
+    single runs go through ``simulate``/``run_spec``; experiments that
+    never resolve a single run (pure theory tables) accept and ignore
+    it.
     """
 
     #: Registry id; subclasses override.
@@ -134,6 +138,7 @@ class Experiment(abc.ABC):
         "resume": False,
         "out": None,
         "persist": None,
+        "fidelity": None,
     }
 
     def __init__(self, **overrides: Any):

@@ -9,15 +9,51 @@ from .fixed_points import (
     undecided_fixed_point_fraction,
     undecided_plateau_fraction,
 )
-from .ode import MeanFieldSolution, USDMeanField
-from .timescales import MeanFieldTimescales, predict_timescales
+from .ode import (
+    MeanFieldSolution,
+    USDMeanField,
+    load_solve_ivp,
+    scipy_available,
+    scipy_unavailable_reason,
+)
+from .surrogate import (
+    ESCALATE,
+    MARGINAL,
+    SURROGATE_PROTOCOLS,
+    TRUSTED,
+    VERDICTS,
+    SurrogateResult,
+    ValidityReport,
+    resolve_surrogate,
+    surrogate_supports,
+    surrogate_unsupported_reason,
+)
+from .timescales import (
+    MeanFieldTimescales,
+    predict_timescales,
+    timescales_from_solution,
+)
 
 __all__ = [
+    "ESCALATE",
+    "MARGINAL",
+    "TRUSTED",
+    "VERDICTS",
+    "SURROGATE_PROTOCOLS",
     "FixedPointClassification",
     "MeanFieldSolution",
     "MeanFieldTimescales",
+    "SurrogateResult",
     "USDMeanField",
+    "ValidityReport",
+    "load_solve_ivp",
     "predict_timescales",
+    "timescales_from_solution",
+    "resolve_surrogate",
+    "scipy_available",
+    "scipy_unavailable_reason",
+    "surrogate_supports",
+    "surrogate_unsupported_reason",
     "classify_fixed_point",
     "consensus_fixed_point",
     "jacobian",

@@ -24,9 +24,13 @@ import numpy as np
 
 from ..core.configuration import Configuration
 from ..errors import SimulationError
-from .ode import USDMeanField
+from .ode import MeanFieldSolution, USDMeanField
 
-__all__ = ["MeanFieldTimescales", "predict_timescales"]
+__all__ = [
+    "MeanFieldTimescales",
+    "predict_timescales",
+    "timescales_from_solution",
+]
 
 
 @dataclass(frozen=True)
@@ -85,10 +89,28 @@ def predict_timescales(
         raise SimulationError(f"horizon must be positive, got {horizon}")
     if not 0 < tolerance < 0.5:
         raise SimulationError(f"tolerance must be in (0, 0.5), got {tolerance}")
-    k = initial.k
-    model = USDMeanField(k=k)
+    model = USDMeanField(k=initial.k)
     grid = np.linspace(0.0, horizon, grid_points)
     solution = model.integrate(initial, t_end=horizon, t_eval=grid)
+    return timescales_from_solution(solution, tolerance=tolerance)
+
+
+def timescales_from_solution(
+    solution: MeanFieldSolution, *, tolerance: float = 1e-3
+) -> MeanFieldTimescales:
+    """Extract event times from an already-integrated fluid-limit solution.
+
+    The surrogate fidelity tier integrates once per resolved spec and
+    reads both the trajectory and these event times off the same
+    solution — re-integrating (as :func:`predict_timescales` does from
+    a configuration) would double the resolve latency for nothing.
+    """
+    if not 0 < tolerance < 0.5:
+        raise SimulationError(f"tolerance must be in (0, 0.5), got {tolerance}")
+    if solution.times.size == 0:
+        raise SimulationError("cannot extract timescales from an empty solution")
+    k = solution.opinions.shape[1]
+    horizon = float(solution.times[-1])
 
     v_star = (k - 1.0) / (2.0 * k - 1.0)
     plateau = _first_crossing(

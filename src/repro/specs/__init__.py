@@ -35,6 +35,7 @@ from .ensemble import EnsembleSpec
 from .hashing import canonical_json, canonicalize, content_hash
 from .merge import apply_overrides, merge_params
 from .model import (
+    FIDELITY_NAMES,
     SCHEMA_VERSION,
     InitialSpec,
     ProtocolSpec,
@@ -47,12 +48,14 @@ from .runner import (
     load_spec,
     load_spec_file,
     normalize_run,
+    register_fidelity_resolver,
     run_spec,
     summary_row,
 )
 from .sweep import SweepSpec
 
 __all__ = [
+    "FIDELITY_NAMES",
     "SCHEMA_VERSION",
     "ProtocolSpec",
     "InitialSpec",
@@ -70,6 +73,7 @@ __all__ = [
     "load_spec_file",
     "merge_params",
     "normalize_run",
+    "register_fidelity_resolver",
     "run_spec",
     "summary_row",
 ]

@@ -38,6 +38,7 @@ from .hashing import canonicalize, content_hash
 
 __all__ = [
     "SCHEMA_VERSION",
+    "FIDELITY_NAMES",
     "ProtocolSpec",
     "InitialSpec",
     "RecordingSpec",
@@ -51,6 +52,13 @@ SCHEMA_VERSION = 1
 
 #: Engine names :class:`RunSpec` accepts (``'auto'`` resolves by size).
 _ENGINE_NAMES = ("auto", "agent", "counts", "batch")
+
+#: Fidelity tiers :class:`RunSpec` accepts.  ``'exact'`` runs the real
+#: engines, ``'surrogate'`` the mean-field fluid limit, ``'auto'``
+#: answers from the surrogate only when its validity verdict is TRUSTED
+#: and escalates to exact otherwise.  Like ``backend``, fidelity is a
+#: *resolution* knob, excluded from :meth:`RunSpec.spec_hash`.
+FIDELITY_NAMES = ("exact", "surrogate", "auto")
 
 
 def _require(condition: bool, message: str) -> None:
@@ -574,16 +582,19 @@ class RunSpec:
     ``max_parallel_time`` (interpreted as synchronous *rounds* for
     gossip protocols).  ``engine``/``backend`` select the execution
     machinery (``backend`` is bit-identical across choices and is
-    excluded from :meth:`spec_hash`); ``seed`` may be ``None`` for
-    template specs that receive derived seeds from an ensemble or
-    sweep.  ``metadata`` is free-form provenance threaded into the
-    result, never hashed.
+    excluded from :meth:`spec_hash`); ``fidelity`` selects the answer
+    tier (:data:`FIDELITY_NAMES` — also excluded from the hash: it
+    changes how the question is *answered*, not which question it is);
+    ``seed`` may be ``None`` for template specs that receive derived
+    seeds from an ensemble or sweep.  ``metadata`` is free-form
+    provenance threaded into the result, never hashed.
     """
 
     protocol: ProtocolSpec
     initial: InitialSpec
     engine: str = "auto"
     backend: Optional[str] = None
+    fidelity: str = "exact"
     seed: Optional[int] = None
     max_interactions: Optional[int] = None
     max_parallel_time: Optional[float] = None
@@ -607,6 +618,11 @@ class RunSpec:
         _require(
             self.engine in _ENGINE_NAMES,
             f"unknown engine {self.engine!r}; choose from {list(_ENGINE_NAMES)}",
+        )
+        _require(
+            self.fidelity in FIDELITY_NAMES,
+            f"unknown fidelity {self.fidelity!r}; choose from "
+            f"{list(FIDELITY_NAMES)}",
         )
         if self.backend is not None:
             object.__setattr__(self, "backend", str(self.backend))
@@ -662,6 +678,13 @@ class RunSpec:
                 and not self.recording.record_async,
                 "gossip runs record synchronously in memory; persistence "
                 "and async recording apply to population-protocol runs",
+            )
+        if self.fidelity == "surrogate" and self.recording.persist_to is not None:
+            raise SpecError(
+                "fidelity='surrogate' answers from the deterministic "
+                "fluid limit and never streams a trajectory to disk; "
+                "persist_to would be silently ignored (fidelity='auto' "
+                "persists normally whenever it escalates to exact)"
             )
         if not self.stop_when_stable:
             raise SpecError(
@@ -762,9 +785,10 @@ class RunSpec:
         Covers protocol (canonical name, k, params), the canonical
         initial state counts, n, resolved engine, seed, resolved
         horizon, resolved snapshot cadence and the stop mode.  Excludes
-        ``backend``, ``record_async``, persistence placement and
-        ``metadata`` — bit-identical / provenance-only knobs that must
-        not change what run this *is*.
+        ``backend``, ``fidelity``, ``record_async``, persistence
+        placement and ``metadata`` — resolution / provenance knobs that
+        must not change what run this *is* (fidelity changes how the
+        question is answered; the verdict lands in result metadata).
         """
         identity = {
             "schema_version": SCHEMA_VERSION,
@@ -806,6 +830,7 @@ class RunSpec:
             "initial": self.initial.to_dict(),
             "engine": self.engine,
             "backend": self.backend,
+            "fidelity": self.fidelity,
             "seed": self.seed,
             "max_interactions": self.max_interactions,
             "max_parallel_time": self.max_parallel_time,
@@ -830,6 +855,7 @@ class RunSpec:
                 "initial",
                 "engine",
                 "backend",
+                "fidelity",
                 "seed",
                 "max_interactions",
                 "max_parallel_time",
@@ -848,6 +874,7 @@ class RunSpec:
             initial=InitialSpec.from_dict(payload["initial"]),
             engine=str(payload.get("engine", "auto")),
             backend=payload.get("backend"),
+            fidelity=str(payload.get("fidelity", "exact")),
             seed=payload.get("seed"),
             max_interactions=payload.get("max_interactions"),
             max_parallel_time=payload.get("max_parallel_time"),
@@ -868,6 +895,10 @@ class RunSpec:
     def with_recording(self, recording: RecordingSpec) -> "RunSpec":
         """A copy of this spec with the recording block replaced."""
         return replace(self, recording=recording)
+
+    def with_fidelity(self, fidelity: str) -> "RunSpec":
+        """A copy of this spec with the fidelity tier replaced."""
+        return replace(self, fidelity=fidelity)
 
     def __hash__(self) -> int:
         return hash(content_hash(self.to_dict()))

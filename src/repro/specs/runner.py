@@ -37,6 +37,7 @@ __all__ = [
     "load_spec",
     "load_spec_file",
     "normalize_run",
+    "register_fidelity_resolver",
     "run_spec",
     "summary_row",
 ]
@@ -89,6 +90,7 @@ def normalize_run(
     engine: str = "auto",
     seed: Any = None,
     backend: Optional[str] = None,
+    fidelity: str = "exact",
     max_interactions: Optional[int] = None,
     max_parallel_time: Optional[float] = None,
     snapshot_every: Optional[int] = None,
@@ -142,6 +144,7 @@ def normalize_run(
             initial=initial_spec,
             engine=engine,
             backend=backend,
+            fidelity=fidelity,
             seed=seed,
             max_interactions=max_interactions,
             max_parallel_time=max_parallel_time,
@@ -186,6 +189,8 @@ class SweepSpecRun:
     ``artifacts`` lists the ``merged.json`` / ``provenance.json`` paths
     written when a full (unsharded) run checkpointed to an ``out``
     directory — the provenance embeds the root spec document.
+    ``escalated`` labels the grid points a ``fidelity='auto'`` sweep
+    escalated to the exact tier (empty for exact/surrogate sweeps).
     """
 
     spec_hash: str
@@ -193,6 +198,7 @@ class SweepSpecRun:
     rows: Tuple[Dict[str, Any], ...]
     partial: bool
     artifacts: Tuple[Path, ...] = ()
+    escalated: Tuple[str, ...] = ()
 
 
 def run_spec(
@@ -296,8 +302,22 @@ def _resume_persisted(spec: RunSpec):
         return None
 
 
-def _run_single(spec: RunSpec):
-    """One run: dispatch to the population or gossip front-end."""
+# ----------------------------------------------------------------------
+# The fidelity resolver table
+# ----------------------------------------------------------------------
+#
+# Every single-run spec resolves through exactly one entry of this
+# table, keyed by ``spec.fidelity`` — the run-dispatch path is data,
+# not an if-ladder.  ``exact`` is today's engine path unchanged (bit
+# for bit); ``surrogate`` answers from the mean-field fluid limit and
+# fails loudly when the protocol has no surrogate (or scipy is
+# missing); ``auto`` answers from the surrogate only when its validity
+# verdict is TRUSTED and otherwise escalates to the exact resolver,
+# stamping the escalation verdict into the result metadata.
+
+
+def _resolve_exact(spec: RunSpec):
+    """The exact tier: dispatch to the population or gossip front-end."""
     if spec.protocol.model == "gossip":
         from ..gossip.run import simulate_gossip
 
@@ -334,6 +354,98 @@ def _run_single(spec: RunSpec):
     )
 
 
+def _resolve_surrogate(spec: RunSpec):
+    """The surrogate tier: mean-field resolution, loud on unsupported."""
+    from ..meanfield.surrogate import resolve_surrogate
+
+    return resolve_surrogate(spec, requested="surrogate")
+
+
+def _escalated(spec: RunSpec, escalation: Dict[str, Any]):
+    """Run the exact tier and stamp why ``auto`` escalated.
+
+    The exact result is bit-identical to a ``fidelity='exact'`` run of
+    the same spec — arrays, scalars and trace all come from the same
+    code path; only the result-level metadata gains a ``'fidelity'``
+    key recording the escalation.
+    """
+    result = _resolve_exact(spec)
+    return replace(
+        result,
+        metadata={
+            **result.metadata,
+            "fidelity": {
+                "requested": "auto",
+                "resolved": "exact",
+                **escalation,
+            },
+        },
+    )
+
+
+def _resolve_auto(spec: RunSpec):
+    """The adaptive tier: surrogate when TRUSTED, exact otherwise."""
+    from ..meanfield.surrogate import (
+        TRUSTED,
+        resolve_surrogate,
+        surrogate_unsupported_reason,
+    )
+
+    reason = surrogate_unsupported_reason(spec)
+    if reason is not None:
+        return _escalated(spec, {"verdict": "UNSUPPORTED", "reasons": [reason]})
+    surrogate = resolve_surrogate(spec, requested="auto")
+    if surrogate.validity.verdict == TRUSTED:
+        return surrogate
+    return _escalated(
+        spec,
+        {
+            "verdict": surrogate.validity.verdict,
+            "reasons": list(surrogate.validity.reasons),
+            "report": surrogate.validity.as_dict(),
+        },
+    )
+
+
+_FIDELITY_RESOLVERS: Dict[str, Any] = {
+    "exact": _resolve_exact,
+    "surrogate": _resolve_surrogate,
+    "auto": _resolve_auto,
+}
+
+
+def register_fidelity_resolver(name: str, resolver) -> None:
+    """Install (or replace) a fidelity resolver.
+
+    The table is the extension point of the dispatch path: an
+    experimental tier plugs in here without touching ``run_spec``.
+    Replacing a built-in tier is allowed (tests monkey the table) but
+    the name must already be constructible on a :class:`RunSpec`, i.e.
+    listed in :data:`repro.specs.model.FIDELITY_NAMES`, or the specs
+    naming it could never validate.
+    """
+    from .model import FIDELITY_NAMES
+
+    if name not in FIDELITY_NAMES:
+        raise SpecError(
+            f"cannot register resolver for unknown fidelity {name!r}; "
+            f"RunSpec accepts {list(FIDELITY_NAMES)}"
+        )
+    _FIDELITY_RESOLVERS[name] = resolver
+
+
+def _run_single(spec: RunSpec):
+    """One run: resolve through the fidelity table."""
+    try:
+        resolver = _FIDELITY_RESOLVERS[spec.fidelity]
+    except KeyError:  # pragma: no cover — RunSpec validates the name
+        raise SpecError(
+            f"no resolver registered for fidelity {spec.fidelity!r}; "
+            f"registered: {sorted(_FIDELITY_RESOLVERS)}"
+        ) from None
+    return resolver(spec)
+
+
 def summary_row(result: Any) -> Dict[str, Any]:
     """The scalar summary of a run result, model-agnostic.
 
@@ -348,7 +460,9 @@ def summary_row(result: Any) -> Dict[str, Any]:
         "stabilized": bool(result.stabilized),
         "winner": result.winner,
     }
-    if hasattr(result, "rounds"):  # gossip
+    # gossip results (and gossip surrogates) count rounds; population
+    # surrogates carry rounds=None and report like population runs
+    if getattr(result, "rounds", None) is not None:
         row["rounds"] = int(result.rounds)
         row["parallel_time"] = float(result.rounds)
         row["stabilization_parallel_time"] = (
@@ -361,6 +475,24 @@ def summary_row(result: Any) -> Dict[str, Any]:
         row["parallel_time"] = float(result.parallel_time)
         row["stabilization_parallel_time"] = result.stabilization_parallel_time
     return row
+
+
+def _fidelity_row(spec: RunSpec, result: Any) -> Dict[str, Any]:
+    """Fidelity columns for ensemble/sweep rows.
+
+    Empty for the exact tier: pre-fidelity rows (and therefore merged
+    sweep artifacts) must stay byte-identical when nothing asked for a
+    surrogate.  Non-exact tiers record which tier was requested, which
+    one actually answered, and the validity verdict.
+    """
+    if spec.fidelity == "exact":
+        return {}
+    info = dict(getattr(result, "metadata", {}).get("fidelity") or {})
+    return {
+        "fidelity": spec.fidelity,
+        "resolved_fidelity": str(info.get("resolved", "exact")),
+        "verdict": info.get("verdict"),
+    }
 
 
 class _MemberTask:
@@ -386,6 +518,7 @@ def _run_ensemble(spec: EnsembleSpec, *, workers: Optional[int] = 0) -> Ensemble
                 "member": index,
                 "seed": spec.member_seed(index),
                 **summary_row(result),
+                **_fidelity_row(spec.run, result),
             }
         )
     return EnsembleRun(
@@ -438,6 +571,7 @@ def _sweep_point_task(point: Any, point_seed: int) -> Dict[str, Any]:
         "seed": point_seed,
         "spec_hash": spec.spec_hash(),
         **summary_row(result),
+        **_fidelity_row(spec, result),
     }
 
 
@@ -481,4 +615,23 @@ def _run_sweep(
         rows=tuple(run.rows),
         partial=not shard_spec.is_full,
         artifacts=artifacts,
+        escalated=_escalated_labels(spec, run.rows),
     )
+
+
+def _escalated_labels(spec: SweepSpec, rows) -> Tuple[str, ...]:
+    """Axis labels of the ``auto`` points the exact tier answered."""
+    labels = []
+    for row in rows:
+        if (
+            row.get("fidelity") == "auto"
+            and row.get("resolved_fidelity") == "exact"
+        ):
+            labels.append(
+                ",".join(
+                    f"{axis}={row[axis]}"
+                    for axis in sorted(spec.axes)
+                    if axis in row
+                )
+            )
+    return tuple(labels)

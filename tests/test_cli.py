@@ -124,3 +124,68 @@ class TestSweepCommands:
         )
         assert code == 1
         assert "shard" in capsys.readouterr().err
+
+
+class TestFidelityCommands:
+    SCENARIO = "examples/scenarios/meanfield_fastpath.json"
+
+    def test_parsers_accept_fidelity(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["run", "fig1-left", "--fidelity", "auto"])
+        assert args.fidelity == "auto"
+        args = parser.parse_args(
+            ["sweep", "run", "usd2-logn", "--out", "/tmp/x",
+             "--fidelity", "surrogate"]
+        )
+        assert args.fidelity == "surrogate"
+
+    def test_run_spec_surrogate_fast_path(self, capsys):
+        assert main(["run", "--spec", self.SCENARIO]) == 0
+        out = capsys.readouterr().out
+        assert "auto -> surrogate" in out
+        assert "TRUSTED" in out
+
+    def test_run_spec_fidelity_flag_overrides(self, capsys):
+        assert main(
+            ["run", "--spec", self.SCENARIO, "--fidelity", "exact",
+             "--set", "initial.n=600", "--set", "initial.params.bias=80",
+             "--set", "max_parallel_time=600.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fidelity" not in out  # exact rows stay pre-fidelity shaped
+
+    def test_spec_validate_rejects_unknown_fidelity(self, capsys):
+        code = main(
+            ["spec", "validate", self.SCENARIO, "--set", "fidelity=psychic"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "unknown fidelity" in err and "surrogate" in err
+
+    def test_meanfield_solve(self, capsys):
+        assert main(["meanfield", "solve", self.SCENARIO]) == 0
+        out = capsys.readouterr().out
+        assert "TRUSTED" in out and "bias margin" in out
+
+    def test_meanfield_fixed_points(self, capsys):
+        assert main(["meanfield", "fixed-points", self.SCENARIO]) == 0
+        out = capsys.readouterr().out
+        assert "undecided v*" in out
+        assert "unstable" in out and "stable" in out
+
+    def test_meanfield_timescales(self, capsys):
+        assert main(
+            ["meanfield", "timescales", self.SCENARIO, "--horizon", "40"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "consensus" in out
+
+    def test_meanfield_timescales_rejects_non_usd(self, capsys):
+        code = main(
+            ["meanfield", "timescales", self.SCENARIO,
+             "--set", "protocol.name=voter"]
+        )
+        assert code == 1
+        assert "USD fluid limit" in capsys.readouterr().err

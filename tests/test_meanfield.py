@@ -9,7 +9,9 @@ from repro.meanfield import (
     classify_fixed_point,
     consensus_fixed_point,
     jacobian,
+    predict_timescales,
     symmetric_interior_fixed_point,
+    timescales_from_solution,
     undecided_fixed_point_fraction,
     undecided_plateau_fraction,
 )
@@ -133,3 +135,96 @@ class TestLinearization:
         for k in (2, 5):
             classification = classify_fixed_point(consensus_fixed_point(k))
             assert classification.stable
+
+
+class TestEdgeCases:
+    def test_k1_absorbs_all_undecided(self):
+        """k = 1: v* = 0 and the single opinion swallows everyone."""
+        assert undecided_fixed_point_fraction(1) == 0.0
+        model = USDMeanField(k=1)
+        solution = model.integrate(
+            Configuration([500], undecided=500), t_end=30.0
+        )
+        assert solution.undecided[-1] == pytest.approx(0.0, abs=1e-4)
+        assert solution.opinions[-1, 0] == pytest.approx(1.0, abs=1e-4)
+
+    def test_exactly_zero_bias_conserves_the_tie(self):
+        """A perfectly symmetric start never breaks symmetry in the
+        ODE (the stochastic system does, by noise — the documented
+        divergence between the fluid limit and the paper's system)."""
+        model = USDMeanField(k=2)
+        solution = model.integrate(Configuration([1000, 1000]), t_end=100.0)
+        assert np.allclose(
+            solution.opinions[:, 0], solution.opinions[:, 1], atol=1e-9
+        )
+        # the undecided fraction still settles on the interior plateau
+        assert solution.undecided[-1] == pytest.approx(
+            undecided_fixed_point_fraction(2), abs=1e-6
+        )
+        times = timescales_from_solution(solution)
+        assert times.consensus is None
+        assert times.plateau_entry is not None
+
+    def test_near_unanimous_initial_skips_the_plateau(self):
+        """Starting at the brink of consensus: no plateau visit, an
+        immediate finish, and doubling is impossible (a_1 > 1/2)."""
+        model = USDMeanField(k=2)
+        solution = model.integrate(Configuration([1995, 5]), t_end=50.0)
+        times = timescales_from_solution(solution)
+        assert times.consensus is not None and times.consensus < 10.0
+        assert times.majority_doubling is None
+        assert np.abs(
+            solution.undecided - undecided_fixed_point_fraction(2)
+        ).min() > 0.05
+
+    def test_classification_matches_jacobian_sign_structure(self):
+        """classify_fixed_point is exactly the sign pattern of the
+        mass-conserving projection of the Jacobian."""
+        for point in (
+            symmetric_interior_fixed_point(4),
+            consensus_fixed_point(4),
+        ):
+            classification = classify_fixed_point(point)
+            from repro.meanfield.fixed_points import _simplex_tangent_basis
+
+            basis = _simplex_tangent_basis(point.shape[0])
+            projected = basis.T @ jacobian(point) @ basis
+            eigenvalues = np.linalg.eigvals(projected)
+            assert classification.stable == bool(
+                np.all(eigenvalues.real < -1e-9)
+            )
+            assert classification.unstable_directions == int(
+                np.sum(eigenvalues.real > 1e-9)
+            )
+            assert np.allclose(
+                np.sort(classification.eigenvalues.real),
+                np.sort(eigenvalues.real),
+            )
+
+
+class TestTimescalesFromSolution:
+    def test_matches_predict_timescales(self):
+        config = Configuration.equal_minorities_with_bias(10_000, 4, 800)
+        direct = predict_timescales(config, horizon=60.0, grid_points=4000)
+        model = USDMeanField(k=4)
+        grid = np.linspace(0.0, 60.0, 4000)
+        solution = model.integrate(config, t_end=60.0, t_eval=grid)
+        derived = timescales_from_solution(solution)
+        assert derived == direct
+
+    def test_empty_solution_rejected(self):
+        from repro.meanfield.ode import MeanFieldSolution
+
+        empty = MeanFieldSolution(
+            times=np.array([]),
+            undecided=np.array([]),
+            opinions=np.empty((0, 2)),
+        )
+        with pytest.raises(SimulationError, match="empty"):
+            timescales_from_solution(empty)
+
+    def test_tolerance_validated(self):
+        model = USDMeanField(k=2)
+        solution = model.integrate(Configuration([6, 4]), t_end=1.0)
+        with pytest.raises(SimulationError, match="tolerance"):
+            timescales_from_solution(solution, tolerance=0.7)

@@ -931,3 +931,57 @@ class TestNonNormalizableSeeds:
             max_interactions=2000,
         )
         assert "spec_hash" in result.metadata
+
+
+class TestFidelityField:
+    def _spec(self, **kwargs):
+        return RunSpec(
+            protocol=ProtocolSpec(name="usd", k=2),
+            initial=InitialSpec(
+                kind="equal-minorities", n=1_000, params={"bias": 100}
+            ),
+            seed=1,
+            max_parallel_time=500.0,
+            **kwargs,
+        )
+
+    def test_default_is_exact(self):
+        assert self._spec().fidelity == "exact"
+
+    def test_unknown_fidelity_rejected_naming_the_choices(self):
+        with pytest.raises(SpecError, match="exact.*surrogate.*auto"):
+            self._spec(fidelity="psychic")
+
+    def test_round_trips(self):
+        spec = self._spec(fidelity="auto")
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert payload["fidelity"] == "auto"
+        assert RunSpec.from_dict(payload) == spec
+
+    def test_from_dict_defaults_to_exact(self):
+        payload = self._spec().to_dict()
+        del payload["fidelity"]
+        assert RunSpec.from_dict(payload).fidelity == "exact"
+
+    def test_excluded_from_spec_hash_like_backend(self):
+        spec = self._spec()
+        assert spec.with_fidelity("surrogate").spec_hash() == spec.spec_hash()
+        assert spec.with_fidelity("auto") != spec  # equality still sees it
+
+    def test_with_fidelity_returns_new_spec(self):
+        spec = self._spec()
+        other = spec.with_fidelity("auto")
+        assert spec.fidelity == "exact" and other.fidelity == "auto"
+
+    def test_surrogate_with_persistence_rejected(self):
+        with pytest.raises(SpecError, match="persist"):
+            self._spec(
+                fidelity="surrogate",
+                recording=RecordingSpec(persist_to="out/run"),
+            )
+
+    def test_auto_with_persistence_allowed(self):
+        spec = self._spec(
+            fidelity="auto", recording=RecordingSpec(persist_to="out/run")
+        )
+        assert spec.fidelity == "auto"
