@@ -1,0 +1,116 @@
+"""Benchmark ``obs-cost``: what observability costs, mode by mode.
+
+The ``repro.obs`` contract is "zero overhead when off, chunk-boundary
+cost when on".  This benchmark prices both halves: counts-engine
+throughput under modes {off, metrics, metrics+journal} at two snapshot
+cadences — *default* (one chunk per run, the sparse production
+setting) and *dense* (hundreds of chunk boundaries, the worst case the
+instrumentation can be charged at) — across n ∈ {10⁴, 10⁶}.  Ratios
+land in ``benchmarks/results/history/`` next to the other throughput
+trajectories, so a future PR that fattens the chunk boundary shows up
+as a falling ``on/off`` ratio in the recorded series.
+
+``BENCH_SMOKE=1`` shrinks the populations and the interaction budget
+(and records under ``obs-cost-smoke``), like the other benchmarks.
+"""
+
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from history import record_benchmark
+
+from repro import Configuration, simulate
+from repro.obs.config import ObsConfig
+from repro.protocols import UndecidedStateDynamics
+
+BENCH_SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+POPULATIONS = (10_000, 100_000) if BENCH_SMOKE else (10_000, 1_000_000)
+#: Interaction budget per measured run (never reaches absorption).
+BUDGET = 100_000 if BENCH_SMOKE else 1_000_000
+REPEATS = 2 if BENCH_SMOKE else 3
+
+MODES = (
+    ("off", None),
+    ("metrics", ObsConfig(metrics=True)),
+    ("metrics_journal", ObsConfig(metrics=True, journal=True)),
+)
+
+
+def _cadences(n: int):
+    """(label, snapshot_every): one chunk per run vs. many boundaries."""
+    return (
+        ("default", max(BUDGET, n)),
+        ("dense", max(1, BUDGET // 200)),
+    )
+
+
+def _rate(n: int, snapshot_every: int, config, journal_dir: Path) -> float:
+    """Best-of-repeats interactions/second under one obs mode."""
+    protocol = UndecidedStateDynamics(k=3)
+    initial = Configuration.equal_minorities_with_bias(n=n, k=3, bias=n // 20)
+    best = 0.0
+    for repeat in range(REPEATS):
+        kwargs = {}
+        if config is not None and config.journal:
+            kwargs["obs"] = ObsConfig(
+                metrics=config.metrics,
+                journal=True,
+                journal_path=str(journal_dir / f"bench-{n}-{repeat}.jsonl"),
+            )
+        elif config is not None:
+            kwargs["obs"] = config
+        started = time.perf_counter()
+        result = simulate(
+            protocol,
+            initial,
+            engine="counts",
+            seed=11,
+            max_interactions=BUDGET,
+            snapshot_every=snapshot_every,
+            **kwargs,
+        )
+        elapsed = max(time.perf_counter() - started, 1e-9)
+        assert result.interactions == BUDGET
+        best = max(best, BUDGET / elapsed)
+    return best
+
+
+def test_obs_cost(benchmark):
+    def run():
+        metrics = {}
+        with tempfile.TemporaryDirectory() as tmp:
+            journal_dir = Path(tmp)
+            for n in POPULATIONS:
+                for cadence, snapshot_every in _cadences(n):
+                    rates = {
+                        mode: _rate(n, snapshot_every, config, journal_dir)
+                        for mode, config in MODES
+                    }
+                    for mode, rate in rates.items():
+                        metrics[f"{mode}_rate_n{n}_{cadence}"] = round(rate)
+                    metrics[f"on_off_ratio_n{n}_{cadence}"] = round(
+                        rates["metrics"] / rates["off"], 4
+                    )
+                    metrics[f"journal_off_ratio_n{n}_{cadence}"] = round(
+                        rates["metrics_journal"] / rates["off"], 4
+                    )
+        return metrics
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_benchmark("obs-cost-smoke" if BENCH_SMOKE else "obs-cost", metrics)
+    print()
+    for n in POPULATIONS:
+        for cadence, _ in _cadences(n):
+            print(
+                f"n={n:>9,} {cadence:>7}: "
+                f"off {metrics[f'off_rate_n{n}_{cadence}']:>12,}/s, "
+                f"metrics {metrics[f'on_off_ratio_n{n}_{cadence}']:.3f}x, "
+                f"+journal {metrics[f'journal_off_ratio_n{n}_{cadence}']:.3f}x"
+            )
+    for n in POPULATIONS:
+        # even at the dense cadence the chunk-boundary cost must stay
+        # in the same ballpark; off-vs-on bit-identity is CI-enforced
+        # separately — this guards the *price*, loosely (CI noise)
+        assert metrics[f"on_off_ratio_n{n}_dense"] > 0.5

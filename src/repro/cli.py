@@ -26,7 +26,15 @@ Subcommands
     this machine and the default.
 ``repro trace info <RUN_DIR>``
     Show a streamed run directory's manifest: provenance, chunk index,
-    completeness, post-run summary.
+    completeness, post-run summary (plus the run's metric snapshot when
+    it was recorded with ``--obs``).
+``repro obs summary|tail|export <RUN_DIR-or-journal.jsonl>``
+    Inspect a run's observability artifacts: ``summary`` reconstructs
+    the per-layer time breakdown from the JSONL journal and prints the
+    manifest's metric counters, ``tail`` prints the last journal
+    events, ``export`` renders the metric snapshot in the Prometheus
+    text format.  Journals and metric snapshots are written by runs
+    executed with ``--obs`` (or an ``ObsConfig`` on the spec).
 ``repro trace export <RUN_DIR> --to FILE.npz [--every N] [--start T] [--stop T]``
     Materialize a streamed run (optionally windowed / downsampled) into
     a single ``.npz`` trace readable with ``repro.io.load_trace``.
@@ -55,6 +63,7 @@ from __future__ import annotations
 import argparse
 import ast
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -169,6 +178,24 @@ def build_parser() -> argparse.ArgumentParser:
             "answer tier: 'exact' runs the engines, 'surrogate' the "
             "mean-field fluid limit, 'auto' uses the surrogate only when "
             "its validity verdict is TRUSTED (escalates otherwise)"
+        ),
+    )
+    run.add_argument(
+        "--obs",
+        action="store_true",
+        help=(
+            "collect observability for this invocation: metric counters "
+            "(summary printed to stderr on exit) plus a JSONL run journal "
+            "next to every persisted run directory; results stay "
+            "bit-identical (see README 'Observability')"
+        ),
+    )
+    run.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "print throttled progress heartbeats (interactions/s, ETA, "
+            "undecided fraction) to stderr while engines run"
         ),
     )
 
@@ -296,6 +323,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep snapshots up to interaction time T",
     )
 
+    obs = commands.add_parser(
+        "obs",
+        help=(
+            "inspect run observability: journal summary / tail / "
+            "Prometheus metrics export"
+        ),
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    obs_summary = obs_commands.add_parser(
+        "summary",
+        help=(
+            "per-layer time breakdown from the run journal plus the "
+            "manifest's metric counters"
+        ),
+    )
+    obs_tail = obs_commands.add_parser(
+        "tail", help="print the last N journal events as JSON lines"
+    )
+    obs_tail.add_argument(
+        "--lines",
+        "-n",
+        type=int,
+        default=20,
+        metavar="N",
+        help="events to show (default 20; 0 = all)",
+    )
+    obs_export = obs_commands.add_parser(
+        "export",
+        help="render the run's metric snapshot in Prometheus text format",
+    )
+    for sub in (obs_summary, obs_tail, obs_export):
+        sub.add_argument(
+            "target",
+            type=Path,
+            help=(
+                "a persisted run directory (journal.jsonl + manifest.json) "
+                "or a journal file written via ObsConfig.journal_path"
+            ),
+        )
+
     fig1 = commands.add_parser("fig1", help="reproduce Figure 1")
     fig1.add_argument(
         "--full",
@@ -386,6 +453,20 @@ def build_parser() -> argparse.ArgumentParser:
                     "answer tier for the grid points (surrogate / auto "
                     "resolve on the mean-field fluid limit when trustworthy)"
                 ),
+            )
+            sub.add_argument(
+                "--obs",
+                action="store_true",
+                help=(
+                    "collect sweep/pool metric counters (summary printed "
+                    "to stderr on exit) and journal persisted member runs; "
+                    "rows and checkpoints stay bit-identical"
+                ),
+            )
+            sub.add_argument(
+                "--progress",
+                action="store_true",
+                help="print throttled engine progress heartbeats to stderr",
             )
 
     certify = commands.add_parser(
@@ -686,15 +767,19 @@ def _sweep_experiment_class(experiment_id: str):
 def _print_backends() -> None:
     from .core.kernels import (
         backend_fallback_reason,
+        backend_fallbacks,
         default_backend,
         registered_backends,
     )
 
+    fallbacks = backend_fallbacks()
     for name in registered_backends():
         reason = backend_fallback_reason(name)
         status = "available" if reason is None else f"unavailable: {reason}"
         marker = "  (default)" if name == default_backend() else ""
-        print(f"{name:<8} {status}{marker}")
+        count = fallbacks.get(name, 0)
+        fell = f"  [fell back to default x{count} this process]" if count else ""
+        print(f"{name:<8} {status}{marker}{fell}")
     print(
         "backends are bit-identical — selection (--backend) only changes "
         "throughput"
@@ -785,6 +870,12 @@ def _run_trace_command(args: Any) -> None:
                 "winner",
             ):
                 print(f"    {key:<26} {summary.get(key)}")
+            obs_snapshot = summary.get("obs_metrics")
+            if obs_snapshot:
+                from .obs.metrics import format_summary
+
+                print("  where the time went (obs metrics):")
+                print(format_summary(obs_snapshot, indent="    "))
     else:  # export
         if args.every < 1:
             raise ReproError(f"--every must be >= 1, got {args.every}")
@@ -797,6 +888,86 @@ def _run_trace_command(args: Any) -> None:
         print(
             f"wrote {args.to} ({len(trace)} of {len(stream)} snapshots, "
             f"every {args.every})"
+        )
+
+
+def _manifest_obs_metrics(run_dir: Path) -> Optional[Dict[str, Any]]:
+    """The metric snapshot a persisted run's manifest recorded, if any."""
+    import json
+
+    manifest = run_dir / "manifest.json"
+    if not manifest.exists():
+        return None
+    try:
+        payload = json.loads(manifest.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    summary = payload.get("summary") or {}
+    return summary.get("obs_metrics")
+
+
+def _run_obs_command(args: Any) -> None:
+    import json
+
+    from .obs.journal import (
+        JOURNAL_NAME,
+        format_journal_summary,
+        iter_tail,
+        read_journal,
+        summarize_journal,
+    )
+    from .obs.metrics import format_summary, prometheus_text
+
+    target: Path = args.target
+    if target.is_dir():
+        journal_path = target / JOURNAL_NAME
+        run_dir = target
+    else:
+        journal_path = target
+        run_dir = target.parent
+
+    if args.obs_command == "export":
+        snapshot = _manifest_obs_metrics(run_dir)
+        if snapshot is None:
+            raise ReproError(
+                f"no obs_metrics snapshot in {run_dir / 'manifest.json'} — "
+                "record one by running with --obs (or an ObsConfig with "
+                "metrics on) and --persist"
+            )
+        print(prometheus_text(snapshot), end="")
+        return
+
+    if args.obs_command == "tail":
+        if not journal_path.exists():
+            raise ReproError(
+                f"no journal at {journal_path} — run with --obs (or an "
+                "ObsConfig with journal on) and --persist to write one"
+            )
+        for record in iter_tail(journal_path, args.lines):
+            print(json.dumps(record, sort_keys=True))
+        return
+
+    # summary: journal timeline + manifest metric counters, whichever exist
+    shown = False
+    if journal_path.exists():
+        try:
+            records = read_journal(journal_path)
+        except ValueError as exc:
+            raise ReproError(str(exc)) from exc
+        print(f"journal {journal_path}")
+        print(format_journal_summary(summarize_journal(records)))
+        shown = True
+    snapshot = _manifest_obs_metrics(run_dir)
+    if snapshot is not None:
+        print("metrics (from the run's manifest):")
+        print(format_summary(snapshot, indent="  "))
+        shown = True
+    if not shown:
+        raise ReproError(
+            f"no observability artifacts under {run_dir} (no journal, no "
+            "obs_metrics in the manifest) — run with --obs and --persist"
         )
 
 
@@ -826,71 +997,113 @@ def _print_certificate(n: float, k: float, bias: Optional[float]) -> None:
     )
 
 
+@contextmanager
+def _cli_obs_scope(args: Any):
+    """Ambient observability scope from the ``--obs``/``--progress`` flags.
+
+    Wraps the whole command: every run the command triggers inherits
+    the scope (persisted runs additionally open their own journal in
+    their run directory), and a metrics summary lands on stderr at the
+    end so ``repro run ... --obs`` answers "where did the time go"
+    without further ceremony.
+    """
+    obs = bool(getattr(args, "obs", False))
+    progress = bool(getattr(args, "progress", False))
+    if not (obs or progress):
+        yield
+        return
+    from .obs import metrics as obs_metrics
+    from .obs.config import ObsConfig
+    from .obs.runtime import activated
+
+    config = ObsConfig(metrics=obs, journal=obs, progress=progress)
+    with activated(config):
+        try:
+            yield
+        finally:
+            if obs:
+                print("[obs] metrics for this invocation:", file=sys.stderr)
+                print(
+                    obs_metrics.format_summary(
+                        obs_metrics.REGISTRY.snapshot(), indent="  "
+                    ),
+                    file=sys.stderr,
+                )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        if args.command == "list":
-            for line in list_experiments():
-                print(line)
-        elif args.command == "backends":
-            _print_backends()
-        elif args.command == "run":
-            if args.spec is not None:
-                if args.experiment_id is not None:
-                    raise ReproError(
-                        "give either an experiment id or --spec FILE, not both"
-                    )
-                _run_spec_file(args)
-                return 0
-            if args.experiment_id is None:
-                raise ReproError("run needs an experiment id or --spec FILE")
-            if args.shard is not None or args.resume:
-                raise ReproError(
-                    "--shard/--resume on 'repro run' apply to sweep scenario "
-                    "files (--spec); use 'repro sweep run' for registry "
-                    "sweep experiments"
-                )
-            overrides = parse_overrides(args.overrides)
-            if args.workers is not None:
-                overrides["workers"] = args.workers
-            if args.backend is not None:
-                overrides["backend"] = args.backend
-            if args.persist is not None:
-                overrides["persist"] = args.persist
-            if args.fidelity is not None:
-                overrides["fidelity"] = args.fidelity
-            if args.experiment_id == "all":
-                for experiment_id in sorted(EXPERIMENTS):
-                    print(f"=== {experiment_id} ===")
-                    _run_one(experiment_id, overrides, args.out, not args.no_plots)
-                    print()
-            else:
-                _run_one(
-                    args.experiment_id, overrides, args.out, not args.no_plots
-                )
-        elif args.command == "fig1":
-            overrides = {"n": 1_000_000} if args.full else {}
-            panels = ("fig1-left", "fig1-right")
-            if args.panel == "left":
-                panels = ("fig1-left",)
-            elif args.panel == "right":
-                panels = ("fig1-right",)
-            for panel in panels:
-                _run_one(panel, overrides, args.out, plots=True)
-                print()
-        elif args.command == "spec":
-            _run_spec_inspect(args)
-        elif args.command == "meanfield":
-            _run_meanfield_command(args)
-        elif args.command == "sweep":
-            _run_sweep_command(args)
-        elif args.command == "trace":
-            _run_trace_command(args)
-        elif args.command == "certify":
-            _print_certificate(args.n, args.k, args.bias)
+        with _cli_obs_scope(args):
+            return _dispatch(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+
+
+def _dispatch(args: Any) -> int:
+    """Execute one parsed command (inside any ambient obs scope)."""
+    if args.command == "list":
+        for line in list_experiments():
+            print(line)
+    elif args.command == "backends":
+        _print_backends()
+    elif args.command == "run":
+        if args.spec is not None:
+            if args.experiment_id is not None:
+                raise ReproError(
+                    "give either an experiment id or --spec FILE, not both"
+                )
+            _run_spec_file(args)
+            return 0
+        if args.experiment_id is None:
+            raise ReproError("run needs an experiment id or --spec FILE")
+        if args.shard is not None or args.resume:
+            raise ReproError(
+                "--shard/--resume on 'repro run' apply to sweep scenario "
+                "files (--spec); use 'repro sweep run' for registry "
+                "sweep experiments"
+            )
+        overrides = parse_overrides(args.overrides)
+        if args.workers is not None:
+            overrides["workers"] = args.workers
+        if args.backend is not None:
+            overrides["backend"] = args.backend
+        if args.persist is not None:
+            overrides["persist"] = args.persist
+        if args.fidelity is not None:
+            overrides["fidelity"] = args.fidelity
+        if args.experiment_id == "all":
+            for experiment_id in sorted(EXPERIMENTS):
+                print(f"=== {experiment_id} ===")
+                _run_one(experiment_id, overrides, args.out, not args.no_plots)
+                print()
+        else:
+            _run_one(
+                args.experiment_id, overrides, args.out, not args.no_plots
+            )
+    elif args.command == "fig1":
+        overrides = {"n": 1_000_000} if args.full else {}
+        panels = ("fig1-left", "fig1-right")
+        if args.panel == "left":
+            panels = ("fig1-left",)
+        elif args.panel == "right":
+            panels = ("fig1-right",)
+        for panel in panels:
+            _run_one(panel, overrides, args.out, plots=True)
+            print()
+    elif args.command == "spec":
+        _run_spec_inspect(args)
+    elif args.command == "meanfield":
+        _run_meanfield_command(args)
+    elif args.command == "sweep":
+        _run_sweep_command(args)
+    elif args.command == "trace":
+        _run_trace_command(args)
+    elif args.command == "obs":
+        _run_obs_command(args)
+    elif args.command == "certify":
+        _print_certificate(args.n, args.k, args.bias)
     return 0

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from ..errors import SimulationError
+from ..obs.runtime import observe_engine_run
 from ..rng import make_rng
 from ..types import SeedLike, StopPredicate, as_int_vector
 from .configuration import Configuration
@@ -266,6 +267,9 @@ class BaseEngine(abc.ABC):
                     "metadata": {},
                 },
             )
+        # the entire off-path observability cost: one call returning
+        # None, then an `is None` check per chunk (never per interaction)
+        observer = observe_engine_run(self, max_interactions)
         try:
             if recorder is not None and self._interactions == 0:
                 recorder.record(self)
@@ -274,10 +278,20 @@ class BaseEngine(abc.ABC):
                     break
                 if stop is not None and stop(self):
                     break
-                self.step(min(chunk, max_interactions - self._interactions))
+                if observer is None:
+                    self.step(min(chunk, max_interactions - self._interactions))
+                else:
+                    observer.chunk_start()
+                    self.step(min(chunk, max_interactions - self._interactions))
+                    observer.chunk_end(self)
                 if recorder is not None:
                     recorder.record(self)
-        except BaseException:
+        except BaseException as error:
+            if observer is not None:
+                try:
+                    observer.finish(self, error=error)
+                except Exception:
+                    pass  # the original error is the one to surface
             if owned_recorder is not None:
                 try:
                     # keep the spilled data, but do not certify the
@@ -287,6 +301,8 @@ class BaseEngine(abc.ABC):
                     pass  # the original error is the one to surface
             raise
         else:
+            if observer is not None:
+                observer.finish(self)
             if owned_recorder is not None:
                 owned_recorder.close()
         return owned_recorder

@@ -23,6 +23,7 @@ from .registry import (
     KernelBackend,
     available_backends,
     backend_fallback_reason,
+    backend_fallbacks,
     default_backend,
     get_backend,
     register_backend,
@@ -35,6 +36,7 @@ __all__ = [
     "KernelInputs",
     "available_backends",
     "backend_fallback_reason",
+    "backend_fallbacks",
     "default_backend",
     "get_backend",
     "register_backend",

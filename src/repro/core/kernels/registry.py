@@ -22,12 +22,14 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from ...errors import SimulationError
+from ...obs import metrics as obs_metrics
 from . import numba_backend, numpy_backend
 
 __all__ = [
     "KernelBackend",
     "available_backends",
     "backend_fallback_reason",
+    "backend_fallbacks",
     "default_backend",
     "get_backend",
     "register_backend",
@@ -78,6 +80,11 @@ _REASONS: Dict[str, str] = {}
 #: Backend names already warned about, so fallback warns exactly once.
 _WARNED: set = set()
 
+#: How many times each unavailable backend fell back to the default —
+#: the warning fires once and vanishes, this count survives for
+#: ``repro backends`` / the ``backend_fallbacks_total`` metric.
+_FALLBACKS: Dict[str, int] = {}
+
 
 def register_backend(
     name: str,
@@ -88,6 +95,7 @@ def register_backend(
     _RESOLVED.pop(name, None)
     _REASONS.pop(name, None)
     _WARNED.discard(name)
+    _FALLBACKS.pop(name, None)
 
 
 def _load_numpy() -> Tuple[KernelBackend, None]:
@@ -189,6 +197,11 @@ def get_backend(name: Optional[str] = None) -> KernelBackend:
     backend = _resolve(name)
     if backend is not None:
         return backend
+    # every fallback resolution counts (the warning below fires once):
+    # "how often did this process silently run on numpy?" is exactly
+    # the question `repro backends` must answer after the fact
+    _FALLBACKS[name] = _FALLBACKS.get(name, 0) + 1
+    obs_metrics.REGISTRY.inc("backend_fallbacks_total", backend=name)
     if name not in _WARNED:
         _WARNED.add(name)
         warnings.warn(
@@ -201,8 +214,14 @@ def get_backend(name: Optional[str] = None) -> KernelBackend:
     return _resolve(default_backend())
 
 
+def backend_fallbacks() -> Dict[str, int]:
+    """Fallback resolutions per unavailable backend, this process."""
+    return dict(_FALLBACKS)
+
+
 def reset_backend_state() -> None:
     """Forget cached resolutions and one-time warnings (test hook)."""
     _RESOLVED.clear()
     _REASONS.clear()
     _WARNED.clear()
+    _FALLBACKS.clear()

@@ -41,6 +41,8 @@ from ..io.streaming import (
     write_chunk,
     write_manifest,
 )
+from ..obs import metrics as obs_metrics
+from ..obs import runtime as obs_runtime
 from .async_recorder import AsyncTrajectoryRecorder
 from .recorder import Trace
 
@@ -217,6 +219,17 @@ class PersistentTrajectoryRecorder(AsyncTrajectoryRecorder):
         # keep the manifest's chunk index current so a killed run's
         # manifest still names every spilled chunk
         self._update_manifest()
+        if obs_metrics.REGISTRY.enabled:
+            obs_metrics.REGISTRY.inc("spill_chunks_total")
+            # snapshots recorded but not yet ingested = worker backlog
+            obs_metrics.REGISTRY.set_gauge("spill_queue_depth", self._pending)
+        obs_runtime.emit(
+            "recorder.spill",
+            chunk=record["index"],
+            snapshots=record["snapshots"],
+            last_time=record["last_time"],
+            pending=self._pending,
+        )
 
     # ------------------------------------------------------------------
     # Close / finalize

@@ -17,7 +17,6 @@ Example
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, Optional, Union
@@ -25,6 +24,9 @@ from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 import numpy as np
 
 from ..errors import SimulationError
+from ..obs import runtime as obs_runtime
+from ..obs.config import ObsConfig
+from ..obs.timing import wall_timer
 from ..types import SeedLike, StopPredicate
 from .agent_engine import AgentEngine
 from .async_recorder import AsyncTrajectoryRecorder
@@ -203,6 +205,7 @@ def simulate(
     persist_chunk_snapshots: Optional[int] = None,
     persist_window: Optional[int] = None,
     metadata: Optional[Dict[str, Any]] = None,
+    obs: Optional[ObsConfig] = None,
     _spec: Any = None,
     **engine_kwargs: Any,
 ) -> RunResult:
@@ -249,6 +252,14 @@ def simulate(
     same run.  The tuning knobs require a target:
     ``persist_chunk_snapshots``/``persist_window`` without
     ``persist_to`` raise instead of being silently ignored.
+
+    ``obs`` (an :class:`repro.obs.ObsConfig`) turns on telemetry for
+    this run: metrics land in ``RunResult.metadata['obs_metrics']``
+    (and the persistence manifest summary), the journal is written to
+    ``obs.journal_path`` or ``<persist_to>/journal.jsonl``, and
+    progress heartbeats go to stderr.  Defaults to off — and off is
+    free: instrumentation happens only at chunk boundaries, consumes
+    no RNG, and trajectories are bit-identical with obs on or off.
     """
     from ..specs import FIDELITY_NAMES, RunSpec, normalize_run, run_spec
 
@@ -274,6 +285,7 @@ def simulate(
                 ("persist_chunk_snapshots", persist_chunk_snapshots, None),
                 ("persist_window", persist_window, None),
                 ("metadata", metadata, None),
+                ("obs", obs, None),
             )
             # identity for None defaults (== on an ndarray initial
             # would yield an elementwise array), equality otherwise
@@ -307,6 +319,11 @@ def simulate(
             f"unknown fidelity {fidelity!r}; choose from {list(FIDELITY_NAMES)}"
         )
 
+    if obs is not None and not isinstance(obs, ObsConfig):
+        raise SimulationError(
+            f"obs must be an ObsConfig, got {type(obs).__name__}"
+        )
+
     spec = _spec
     if spec is None:
         spec = normalize_run(
@@ -327,6 +344,7 @@ def simulate(
             persist_window=persist_window,
             metadata=metadata,
             engine_kwargs=engine_kwargs,
+            obs=obs,
         )
 
     if fidelity != "exact":
@@ -417,33 +435,55 @@ def simulate(
     else:
         recorder = TrajectoryRecorder()
 
-    started = time.perf_counter()
-    try:
-        eng.run(
-            max_interactions,
-            stop=predicate,
-            snapshot_every=snapshot_every,
-            recorder=recorder,
-        )
-    except BaseException:
-        # an aborted run (engine error, KeyboardInterrupt) must not
-        # certify its stream: keep the spilled snapshots but leave the
-        # manifest incomplete, exactly like a killed process
-        if isinstance(recorder, PersistentTrajectoryRecorder):
+    # explicit obs wins; a spec-carried config comes next; with neither,
+    # run_scope falls through to the ambient (CLI --obs/--progress) scope
+    obs_config = obs
+    if obs_config is None and spec is not None and spec.obs.enabled:
+        obs_config = spec.obs
+    with obs_runtime.run_scope(
+        obs_config,
+        persist_dir=persist_to,
+        journal_meta={
+            "protocol": protocol.name,
+            "n": eng.n,
+            "engine": eng.engine_name,
+            "backend": eng.backend,
+            "seed": _jsonable_seed(seed),
+            "spec_hash": meta.get("spec_hash"),
+        },
+    ) as obs_scope:
+        with wall_timer() as timer:
             try:
-                recorder.abandon()
-            except Exception:
-                pass  # the original error is the one to surface
-        elif isinstance(recorder, AsyncTrajectoryRecorder):
-            try:
-                recorder.close()
-            except Exception:
-                pass
-        raise
-    else:
-        if isinstance(recorder, AsyncTrajectoryRecorder):
-            recorder.close()
-    elapsed = time.perf_counter() - started
+                eng.run(
+                    max_interactions,
+                    stop=predicate,
+                    snapshot_every=snapshot_every,
+                    recorder=recorder,
+                )
+            except BaseException:
+                # an aborted run (engine error, KeyboardInterrupt) must not
+                # certify its stream: keep the spilled snapshots but leave
+                # the manifest incomplete, exactly like a killed process
+                if isinstance(recorder, PersistentTrajectoryRecorder):
+                    try:
+                        recorder.abandon()
+                    except Exception:
+                        pass  # the original error is the one to surface
+                elif isinstance(recorder, AsyncTrajectoryRecorder):
+                    try:
+                        recorder.close()
+                    except Exception:
+                        pass
+                raise
+            else:
+                if isinstance(recorder, AsyncTrajectoryRecorder):
+                    recorder.close()
+        obs_metrics = obs_scope.metrics_delta()
+    elapsed = timer.seconds
+    if obs_metrics is not None:
+        # the run's own counters, visible to trace metadata, the result
+        # and (below) the manifest summary — "where did the time go"
+        meta = {**meta, "obs_metrics": obs_metrics}
 
     trace = recorder.build(
         n=eng.n,
@@ -472,6 +512,11 @@ def simulate(
                 "winner": winner,
                 "final_counts": [int(c) for c in eng.counts],
                 "wall_seconds": elapsed,
+                **(
+                    {"obs_metrics": obs_metrics}
+                    if obs_metrics is not None
+                    else {}
+                ),
             }
         )
 

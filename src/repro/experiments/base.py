@@ -10,7 +10,6 @@ index.  Running one produces an :class:`ExperimentResult`: tabular rows
 from __future__ import annotations
 
 import abc
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List
@@ -20,6 +19,7 @@ import numpy as np
 from ..errors import ExperimentError, SpecError, SweepError
 from ..io.serialization import save_result_rows
 from ..io.tables import format_table
+from ..obs.timing import wall_timer
 from ..specs import merge_params
 from ..sweep import ShardSpec, SweepPlan, run_sweep
 
@@ -167,9 +167,9 @@ class Experiment(abc.ABC):
 
     def run(self) -> ExperimentResult:
         """Execute the experiment and stamp timing/provenance."""
-        started = time.perf_counter()
-        result = self._execute()
-        result.wall_seconds = time.perf_counter() - started
+        with wall_timer() as timer:
+            result = self._execute()
+        result.wall_seconds = timer.seconds
         result.params = dict(self.params)
         return result
 

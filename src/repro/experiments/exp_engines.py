@@ -10,12 +10,12 @@ substituting the batch engine at n ≥ 10⁵.
 
 from __future__ import annotations
 
-import time
 from typing import Any, Dict
 
 import numpy as np
 
 from ..core.run import make_engine, simulate
+from ..obs.timing import wall_timer
 from ..protocols.usd import UndecidedStateDynamics
 from ..rng import derive_seed
 from ..workloads.initial import paper_initial_configuration
@@ -104,7 +104,6 @@ class EngineAblationExperiment(Experiment):
             backend=self.params["backend"],
             seed=self.params["seed"],
         )
-        started = time.perf_counter()
-        engine.step(budget)
-        elapsed = time.perf_counter() - started
-        return budget / max(elapsed, 1e-9)
+        with wall_timer() as timer:
+            engine.step(budget)
+        return budget / max(timer.seconds, 1e-9)

@@ -27,6 +27,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import SimulationError
+from ..obs.runtime import observe_engine_run
 from ..rng import make_rng
 from ..types import SeedLike, StopPredicate, as_int_vector
 
@@ -172,16 +173,31 @@ class GossipEngine:
         """Advance until ``max_rounds``, absorption, or ``stop`` fires."""
         if snapshot_every < 1:
             raise SimulationError(f"snapshot_every must be >= 1, got {snapshot_every}")
-        if recorder is not None and self._rounds == 0:
-            recorder.record(self)
-        while self._rounds < max_rounds:
-            self.step(min(snapshot_every, max_rounds - self._rounds))
-            if recorder is not None:
+        # horizon in the comparable time measure (rounds × n interactions)
+        observer = observe_engine_run(self, max_rounds * self._n)
+        try:
+            if recorder is not None and self._rounds == 0:
                 recorder.record(self)
-            if self._absorbed:
-                break
-            if stop is not None and stop(self):
-                break
+            while self._rounds < max_rounds:
+                if observer is None:
+                    self.step(min(snapshot_every, max_rounds - self._rounds))
+                else:
+                    observer.chunk_start()
+                    self.step(min(snapshot_every, max_rounds - self._rounds))
+                    observer.chunk_end(self)
+                if recorder is not None:
+                    recorder.record(self)
+                if self._absorbed:
+                    break
+                if stop is not None and stop(self):
+                    break
+        except BaseException as error:
+            if observer is not None:
+                observer.finish(self, error=error)
+            raise
+        else:
+            if observer is not None:
+                observer.finish(self)
 
     def __repr__(self) -> str:
         return (

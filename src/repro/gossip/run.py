@@ -9,7 +9,6 @@ the two models symmetrically.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Union
 
@@ -18,6 +17,7 @@ import numpy as np
 from ..core.configuration import Configuration
 from ..core.recorder import Trace, TrajectoryRecorder
 from ..errors import SimulationError
+from ..obs.timing import wall_timer
 from ..types import SeedLike, StopPredicate
 from .engine import GossipDynamics, GossipEngine
 
@@ -72,11 +72,11 @@ def simulate_gossip(
 
     engine = GossipEngine(dynamics, counts, seed=seed)
     recorder = TrajectoryRecorder()
-    started = time.perf_counter()
-    engine.run(
-        max_rounds, stop=stop, snapshot_every=snapshot_every, recorder=recorder
-    )
-    elapsed = time.perf_counter() - started
+    with wall_timer() as timer:
+        engine.run(
+            max_rounds, stop=stop, snapshot_every=snapshot_every, recorder=recorder
+        )
+    elapsed = timer.seconds
 
     undecided_index = 0 if dynamics.state_names()[0] == "⊥" else None
     meta = {

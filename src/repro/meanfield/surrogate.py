@@ -32,7 +32,6 @@ bookkeeping states with no fluid-limit model here.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple
@@ -41,6 +40,9 @@ import numpy as np
 
 from ..core.recorder import Trace
 from ..errors import SimulationError
+from ..obs import metrics as obs_metrics
+from ..obs import runtime as obs_runtime
+from ..obs.timing import wall_timer
 from .ode import USDMeanField, scipy_unavailable_reason
 from .timescales import MeanFieldTimescales, timescales_from_solution
 
@@ -514,6 +516,16 @@ def resolve_surrogate(spec, *, requested: str = "surrogate") -> SurrogateResult:
         raise SimulationError(
             f"fidelity 'surrogate' cannot resolve this spec: {reason}"
         )
-    started = time.perf_counter()
-    result = _SOLVERS[spec.protocol.name](spec, requested)
-    return replace(result, wall_seconds=time.perf_counter() - started)
+    with wall_timer() as timer:
+        result = _SOLVERS[spec.protocol.name](spec, requested)
+    result = replace(result, wall_seconds=timer.seconds)
+    verdict = result.validity.verdict
+    obs_metrics.REGISTRY.inc("surrogate_verdicts_total", verdict=verdict)
+    obs_runtime.emit(
+        "fidelity.resolve",
+        protocol=spec.protocol.name,
+        requested=requested,
+        verdict=verdict,
+        seconds=result.wall_seconds,
+    )
+    return result

@@ -1,0 +1,52 @@
+"""The shared wall-clock timer.
+
+Every ``wall_seconds`` the codebase reports — run results, gossip
+results, experiment provenance, surrogate resolutions — comes from
+this one helper, so timing is uniform (monotonic ``perf_counter``,
+measured around the same ``with`` block shape everywhere) instead of
+scattered ad-hoc ``time.perf_counter()`` pairs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["WallTimer", "wall_timer"]
+
+
+class WallTimer:
+    """Elapsed wall-clock seconds of a ``with wall_timer()`` block.
+
+    ``seconds`` is live while the block runs and frozen at exit, so it
+    can be read both inside the block (progress math) and after it
+    (provenance stamping) — including when the block exits by raising.
+    """
+
+    __slots__ = ("_started", "_stopped")
+
+    def __init__(self) -> None:
+        self._started = time.perf_counter()
+        self._stopped: float | None = None
+
+    @property
+    def seconds(self) -> float:
+        if self._stopped is not None:
+            return self._stopped - self._started
+        return time.perf_counter() - self._started
+
+    def stop(self) -> float:
+        if self._stopped is None:
+            self._stopped = time.perf_counter()
+        return self.seconds
+
+
+@contextmanager
+def wall_timer() -> Iterator[WallTimer]:
+    """``with wall_timer() as timer: ...`` → ``timer.seconds``."""
+    timer = WallTimer()
+    try:
+        yield timer
+    finally:
+        timer.stop()

@@ -33,6 +33,8 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 from ..errors import ParallelError
+from ..obs import metrics as obs_metrics
+from ..obs import runtime as obs_runtime
 from ..rng import derive_seed
 from ..types import SeedLike
 
@@ -101,6 +103,50 @@ class _IndexedTask:
         return self.task_fn(index, seed)
 
 
+class _ObsPayload:
+    """A task result bundled with the worker's metric delta."""
+
+    __slots__ = ("value", "metrics")
+
+    def __init__(self, value: Any, metrics: dict):
+        self.value = value
+        self.metrics = metrics
+
+
+class _ObsTask:
+    """Picklable wrapper measuring a task's metric delta in the worker.
+
+    Only used when the parent's metrics registry is live at dispatch
+    time.  The worker activates its own registry (spawn-started workers
+    begin with an inert one), snapshots before and after the task, and
+    ships the *delta* home so fork-inherited parent counters are never
+    double-counted.  The parent folds each delta back into its registry
+    as results arrive — ensembles therefore aggregate child-process
+    telemetry exactly as if they had run in-process.
+    """
+
+    def __init__(self, fn: Callable[[Any], Any]):
+        self.fn = fn
+
+    def __call__(self, item: Any) -> "_ObsPayload":
+        obs_runtime.ensure_worker_metrics()
+        baseline = obs_metrics.REGISTRY.snapshot()
+        value = self.fn(item)
+        delta = obs_metrics.snapshot_delta(
+            baseline, obs_metrics.REGISTRY.snapshot()
+        )
+        return _ObsPayload(value, delta)
+
+
+def _absorb_obs(value: Any) -> Any:
+    """Merge an ``_ObsPayload``'s delta into the parent registry; unwrap."""
+    if isinstance(value, _ObsPayload):
+        if value.metrics:
+            obs_metrics.REGISTRY.merge_snapshot(value.metrics)
+        return value.value
+    return value
+
+
 def _ensure_picklable(fn: Callable[..., Any]) -> None:
     """Fail fast, with guidance, before a pool chokes on an unpicklable task."""
     try:
@@ -137,16 +183,27 @@ def parallel_map(
     if chunk_size is None:
         chunk_size = max(1, len(items) // (pool_size * 4))
     _ensure_picklable(fn)
+    task: Callable[[Any], Any] = fn
+    if obs_metrics.REGISTRY.enabled:
+        task = _ObsTask(fn)
+        obs_metrics.REGISTRY.inc("pool_worker_spawned", value=pool_size)
+    obs_runtime.emit("pool.start", workers=pool_size, items=len(items))
     try:
         with ProcessPoolExecutor(
             max_workers=pool_size, mp_context=multiprocessing.get_context()
         ) as executor:
-            return list(executor.map(fn, items, chunksize=chunk_size))
+            results = [
+                _absorb_obs(value)
+                for value in executor.map(task, items, chunksize=chunk_size)
+            ]
     except BrokenProcessPool as exc:
+        obs_metrics.REGISTRY.inc("pool_worker_failed")
         raise ParallelError(
             "a worker process died while executing the ensemble; rerun with "
             "workers=0 to reproduce the failure in-process"
         ) from exc
+    obs_runtime.emit("pool.done", workers=pool_size, items=len(items))
+    return results
 
 
 def parallel_map_completed(
@@ -180,26 +237,33 @@ def parallel_map_completed(
             results.append(value)
         return results
     _ensure_picklable(fn)
+    task: Callable[[Any], Any] = fn
+    if obs_metrics.REGISTRY.enabled:
+        task = _ObsTask(fn)
+        obs_metrics.REGISTRY.inc("pool_worker_spawned", value=pool_size)
+    obs_runtime.emit("pool.start", workers=pool_size, items=len(items))
     results: List[Any] = [None] * len(items)
     try:
         with ProcessPoolExecutor(
             max_workers=pool_size, mp_context=multiprocessing.get_context()
         ) as executor:
             futures = {
-                executor.submit(fn, item): index
+                executor.submit(task, item): index
                 for index, item in enumerate(items)
             }
             for future in as_completed(futures):
                 index = futures[future]
-                value = future.result()
+                value = _absorb_obs(future.result())
                 if on_result is not None:
                     on_result(index, value)
                 results[index] = value
     except BrokenProcessPool as exc:
+        obs_metrics.REGISTRY.inc("pool_worker_failed")
         raise ParallelError(
             "a worker process died while executing the sweep; rerun with "
             "workers=0 to reproduce the failure in-process"
         ) from exc
+    obs_runtime.emit("pool.done", workers=pool_size, items=len(items))
     return results
 
 

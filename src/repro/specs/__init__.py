@@ -31,6 +31,7 @@ Quickstart
 True
 """
 
+from ..obs.config import ObsConfig
 from .ensemble import EnsembleSpec
 from .hashing import canonical_json, canonicalize, content_hash
 from .merge import apply_overrides, merge_params
@@ -57,6 +58,7 @@ from .sweep import SweepSpec
 __all__ = [
     "FIDELITY_NAMES",
     "SCHEMA_VERSION",
+    "ObsConfig",
     "ProtocolSpec",
     "InitialSpec",
     "RecordingSpec",

@@ -34,6 +34,7 @@ import numpy as np
 
 from ..core.configuration import Configuration
 from ..errors import ReproError, SpecError
+from ..obs.config import ObsConfig
 from .hashing import canonicalize, content_hash
 
 __all__ = [
@@ -587,7 +588,11 @@ class RunSpec:
     changes how the question is *answered*, not which question it is);
     ``seed`` may be ``None`` for template specs that receive derived
     seeds from an ensemble or sweep.  ``metadata`` is free-form
-    provenance threaded into the result, never hashed.
+    provenance threaded into the result, never hashed.  ``obs``
+    (:class:`repro.obs.ObsConfig`, default fully off) selects the
+    telemetry the run emits — like ``backend``, it cannot change the
+    answer (instrumented runs are bit-identical by contract), so it is
+    excluded from :meth:`spec_hash` too.
     """
 
     protocol: ProtocolSpec
@@ -601,6 +606,7 @@ class RunSpec:
     stop_when_stable: bool = True
     recording: RecordingSpec = field(default_factory=RecordingSpec)
     metadata: Dict[str, Any] = field(default_factory=dict)
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def __post_init__(self) -> None:
         _require(
@@ -614,6 +620,10 @@ class RunSpec:
         _require(
             isinstance(self.recording, RecordingSpec),
             "RunSpec.recording must be a RecordingSpec",
+        )
+        _require(
+            isinstance(self.obs, ObsConfig),
+            "RunSpec.obs must be an ObsConfig",
         )
         _require(
             self.engine in _ENGINE_NAMES,
@@ -786,9 +796,10 @@ class RunSpec:
         initial state counts, n, resolved engine, seed, resolved
         horizon, resolved snapshot cadence and the stop mode.  Excludes
         ``backend``, ``fidelity``, ``record_async``, persistence
-        placement and ``metadata`` — resolution / provenance knobs that
-        must not change what run this *is* (fidelity changes how the
-        question is answered; the verdict lands in result metadata).
+        placement, ``metadata`` and ``obs`` — resolution / provenance /
+        telemetry knobs that must not change what run this *is*
+        (fidelity changes how the question is answered; the verdict
+        lands in result metadata, and telemetry only watches).
         """
         identity = {
             "schema_version": SCHEMA_VERSION,
@@ -837,6 +848,7 @@ class RunSpec:
             "stop_when_stable": self.stop_when_stable,
             "recording": self.recording.to_dict(),
             "metadata": dict(self.metadata),
+            "obs": self.obs.to_dict(),
         }
 
     @classmethod
@@ -862,6 +874,7 @@ class RunSpec:
                 "stop_when_stable",
                 "recording",
                 "metadata",
+                "obs",
             ),
             "run spec",
         )
@@ -884,6 +897,7 @@ class RunSpec:
             stop_when_stable=payload.get("stop_when_stable", True),
             recording=RecordingSpec.from_dict(payload.get("recording") or {}),
             metadata=_as_params(payload.get("metadata"), "metadata"),
+            obs=ObsConfig.from_dict(payload.get("obs") or {}),
         )
 
     # -- derivation --------------------------------------------------
@@ -899,6 +913,10 @@ class RunSpec:
     def with_fidelity(self, fidelity: str) -> "RunSpec":
         """A copy of this spec with the fidelity tier replaced."""
         return replace(self, fidelity=fidelity)
+
+    def with_obs(self, obs: ObsConfig) -> "RunSpec":
+        """A copy of this spec with the observability config replaced."""
+        return replace(self, obs=obs)
 
     def __hash__(self) -> int:
         return hash(content_hash(self.to_dict()))

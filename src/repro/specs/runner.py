@@ -102,6 +102,7 @@ def normalize_run(
     persist_window: Optional[int] = None,
     metadata: Optional[Mapping[str, Any]] = None,
     engine_kwargs: Optional[Mapping[str, Any]] = None,
+    obs: Any = None,
 ) -> Optional[RunSpec]:
     """Normalise keyword ``simulate`` arguments into a :class:`RunSpec`.
 
@@ -111,6 +112,7 @@ def normalize_run(
     keyword form still runs those — it just cannot hash them.
     """
     from ..core.configuration import Configuration
+    from ..obs.config import ObsConfig
     from .model import InitialSpec, ProtocolSpec, RecordingSpec
 
     if stop is not None or not stop_when_stable or engine_kwargs:
@@ -157,6 +159,7 @@ def normalize_run(
                 persist_window=persist_window,
             ),
             metadata=jsonable_metadata,
+            obs=obs if obs is not None else ObsConfig(),
         )
         spec.spec_hash()  # canonicalisation must succeed up front
         return spec
@@ -320,15 +323,22 @@ def _resolve_exact(spec: RunSpec):
     """The exact tier: dispatch to the population or gossip front-end."""
     if spec.protocol.model == "gossip":
         from ..gossip.run import simulate_gossip
+        from ..obs.runtime import run_scope
 
-        return simulate_gossip(
-            spec.build_protocol(),
-            spec.build_initial(),
-            seed=spec.seed,
-            max_rounds=spec.resolved_horizon(),
-            snapshot_every=spec.resolved_snapshot_every(),
-            metadata={**spec.metadata, "spec_hash": spec.spec_hash()},
-        )
+        # gossip runs never persist, so the spec's journal only writes
+        # when it names an explicit journal_path
+        with run_scope(
+            spec.obs if spec.obs.enabled else None,
+            journal_meta={"protocol": spec.protocol.name, "model": "gossip"},
+        ):
+            return simulate_gossip(
+                spec.build_protocol(),
+                spec.build_initial(),
+                seed=spec.seed,
+                max_rounds=spec.resolved_horizon(),
+                snapshot_every=spec.resolved_snapshot_every(),
+                metadata={**spec.metadata, "spec_hash": spec.spec_hash()},
+            )
     resumed = _resume_persisted(spec)
     if resumed is not None:
         return resumed
@@ -391,12 +401,28 @@ def _resolve_auto(spec: RunSpec):
         surrogate_unsupported_reason,
     )
 
+    from ..obs import metrics as obs_metrics
+    from ..obs.runtime import emit as obs_emit
+
     reason = surrogate_unsupported_reason(spec)
     if reason is not None:
+        obs_metrics.REGISTRY.inc("surrogate_verdicts_total", verdict="UNSUPPORTED")
+        obs_emit(
+            "fidelity.escalate",
+            protocol=spec.protocol.name,
+            verdict="UNSUPPORTED",
+            reason=reason,
+        )
         return _escalated(spec, {"verdict": "UNSUPPORTED", "reasons": [reason]})
     surrogate = resolve_surrogate(spec, requested="auto")
     if surrogate.validity.verdict == TRUSTED:
         return surrogate
+    obs_emit(
+        "fidelity.escalate",
+        protocol=spec.protocol.name,
+        verdict=surrogate.validity.verdict,
+        reasons=list(surrogate.validity.reasons),
+    )
     return _escalated(
         spec,
         {
@@ -506,11 +532,19 @@ class _MemberTask:
 
 
 def _run_ensemble(spec: EnsembleSpec, *, workers: Optional[int] = 0) -> EnsembleRun:
+    from ..obs.runtime import emit as obs_emit
     from ..parallel import parallel_map
 
+    obs_emit(
+        "ensemble.start",
+        spec_hash=spec.spec_hash(),
+        members=spec.num_runs,
+        workers=workers,
+    )
     results = parallel_map(
         _MemberTask(spec), list(range(spec.num_runs)), workers=workers
     )
+    obs_emit("ensemble.done", spec_hash=spec.spec_hash(), members=spec.num_runs)
     rows = []
     for index, result in enumerate(results):
         rows.append(

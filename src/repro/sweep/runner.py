@@ -28,6 +28,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..errors import SweepError
 from ..io.serialization import _jsonable
+from ..obs import metrics as obs_metrics
+from ..obs import runtime as obs_runtime
 from ..parallel import parallel_map_completed
 from ..workloads.sweeps import SweepPoint
 from .plan import ShardSpec, SweepPlan
@@ -252,6 +254,21 @@ def run_sweep(
                 continue
         pending.append((index, point, seed))
 
+    # telemetry only — rows and checkpoints stay byte-identical with
+    # observability off (the CI sweep leg diffs merged.json to prove it)
+    if restored:
+        obs_metrics.REGISTRY.inc("sweep_points_resumed", value=len(restored))
+    if pending:
+        obs_metrics.REGISTRY.inc("sweep_points_started", value=len(pending))
+    obs_runtime.emit(
+        "sweep.start",
+        sweep_id=plan.sweep_id,
+        shard=str(shard),
+        points=len(plan),
+        restored=len(restored),
+        pending=len(pending),
+    )
+
     def _checkpoint(position: int, row: Dict[str, Any]) -> None:
         index, _, seed = pending[position]
         if directory is not None:
@@ -259,6 +276,12 @@ def run_sweep(
                 directory / plan.checkpoint_name(index),
                 _checkpoint_payload(plan, index, seed, shard, row),
             )
+        obs_metrics.REGISTRY.inc("sweep_points_completed")
+        obs_runtime.emit(
+            "sweep.point",
+            index=index,
+            label=plan.points[index].canonical_label,
+        )
 
     computed_rows = parallel_map_completed(
         _PointTask(task_fn), pending, workers=workers, on_result=_checkpoint
@@ -280,6 +303,13 @@ def run_sweep(
                 reused=reused,
             )
         )
+    obs_runtime.emit(
+        "sweep.done",
+        sweep_id=plan.sweep_id,
+        shard=str(shard),
+        executed=len(pending),
+        reused=len(restored),
+    )
     return ShardRun(sweep_id=plan.sweep_id, shard=shard, outcomes=tuple(outcomes))
 
 
