@@ -769,6 +769,7 @@ def _print_backends() -> None:
         backend_fallback_reason,
         backend_fallbacks,
         default_backend,
+        get_backend,
         registered_backends,
     )
 
@@ -780,6 +781,16 @@ def _print_backends() -> None:
         count = fallbacks.get(name, 0)
         fell = f"  [fell back to default x{count} this process]" if count else ""
         print(f"{name:<8} {status}{marker}{fell}")
+        if reason is None:
+            # which implementation actually serves each kernel — a
+            # backend that delegates a kernel (e.g. a batch kernel
+            # handed to numpy with a reason) is never silent about it
+            backend = get_backend(name)
+            served = ", ".join(
+                f"{kernel}: {served_by}"
+                for kernel, served_by in backend.provenance_map.items()
+            )
+            print(f"         {served}")
     print(
         "backends are bit-identical — selection (--backend) only changes "
         "throughput"

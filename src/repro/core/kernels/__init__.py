@@ -7,19 +7,30 @@ loops to the :class:`~repro.core.kernels.registry.KernelBackend`
 resolved from its ``backend`` parameter:
 
 * ``'numpy'`` — the reference kernels, a pure extraction of the
-  original engine loops (always available, the default);
-* ``'numba'`` — a ``@njit``-compiled counts kernel drawing from the
-  same ``np.random.Generator`` (optional; falls back to numpy with a
-  one-time warning when the package is missing).
+  original engine loops (always available);
+* ``'numba'`` — ``@njit``-compiled counts *and* τ-leaping batch
+  kernels drawing from the same ``np.random.Generator`` (the batch
+  kernel's ``binomial``/``multinomial`` draws come from bit-exact
+  ports of NumPy's C samplers in :mod:`.numba_rng`); optional, falls
+  back to numpy with a one-time warning when the package is missing;
+* ``'cython'`` — a Cython-compiled counts kernel (optional; needs the
+  prebuilt ``_cython_kernels`` extension or Cython + a C compiler for
+  a lazy build); its batch kernel delegates to numpy, recorded in the
+  backend's per-kernel provenance.
 
 Backends are bit-identical by contract — the trajectory of a seeded run
 does not depend on the backend, so ``backend`` is a pure throughput
-knob (see ``tests/test_kernels.py``).  Future backends (Cython, GPU)
+knob (see ``tests/test_kernels.py``).  Compiled backends are accepted
+only after a load-time draw-for-draw self-check against the numpy
+reference; when a backend serves a kernel through another backend's
+implementation, :attr:`KernelBackend.provenance` records it (``repro
+backends`` prints the per-kernel breakdown).  Future backends (GPU)
 register through :func:`register_backend` behind the same seam.
 """
 
 from .inputs import KernelInputs
 from .registry import (
+    KERNEL_NAMES,
     KernelBackend,
     available_backends,
     backend_fallback_reason,
@@ -32,6 +43,7 @@ from .registry import (
 )
 
 __all__ = [
+    "KERNEL_NAMES",
     "KernelBackend",
     "KernelInputs",
     "available_backends",

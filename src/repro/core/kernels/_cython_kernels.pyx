@@ -1,0 +1,85 @@
+# cython: language_level=3, boundscheck=False, wraparound=False
+"""Cython counts kernel — the geometric null-skipping loop in C.
+
+The weight accumulation, pair selection scan and delta application run
+as C integer arithmetic over typed memoryviews; the two random draws
+per effective event go through the engine's own
+``np.random.Generator`` *methods* (``rng.geometric`` /
+``rng.integers``), so the random stream is consumed by NumPy's own
+sampler code and bit-identity with the numpy reference backend holds
+by construction — the load-time self-check in
+``repro.core.kernels.cython_backend`` re-proves it anyway before the
+backend is accepted.
+
+This removes the per-event NumPy overhead of the reference kernel
+(fancy indexing, cumsum, searchsorted, and the small-array temporaries
+each event allocates) while keeping the draw path byte-for-byte
+NumPy's.  Must mirror
+``repro.core.kernels.numpy_backend.counts_step`` exactly: one
+``geometric`` per effective event, then one ``integers``.
+"""
+
+import numpy as np
+
+cimport numpy as cnp
+
+cnp.import_array()
+
+
+def counts_step_raw(
+    const cnp.int64_t[::1] eff_a,
+    const cnp.int64_t[::1] eff_b,
+    const cnp.int64_t[::1] eff_same,
+    const cnp.int64_t[:, ::1] eff_delta,
+    double pair_denominator,
+    cnp.int64_t[::1] counts,
+    object rng,
+    long long start,
+    long long target,
+):
+    """Advance the exact counts dynamics from ``start`` to ``target``.
+
+    Returns ``(interactions, last_change, absorbed)`` with
+    ``last_change = -1`` when nothing changed (the Python wrapper maps
+    it to ``None``); ``counts`` is updated in place.
+    """
+    cdef long long interactions = start
+    cdef long long last_change = -1
+    cdef bint absorbed = False
+    cdef Py_ssize_t num_pairs = eff_a.shape[0]
+    cdef Py_ssize_t num_states = eff_delta.shape[1]
+    cdef long long total, acc, gap, r
+    cdef double p_effective
+    cdef Py_ssize_t e, s, pick
+    while interactions < target:
+        total = 0
+        for e in range(num_pairs):
+            total += counts[eff_a[e]] * (counts[eff_b[e]] - eff_same[e])
+        if total == 0:
+            # Every remaining interaction is null: the configuration is
+            # absorbing and time just rolls forward.
+            interactions = target
+            absorbed = True
+            break
+        p_effective = total / pair_denominator
+        gap = rng.geometric(p_effective)
+        if interactions + gap > target:
+            # No effective interaction inside this call; by
+            # memorylessness of the geometric the truncation is exact.
+            interactions = target
+            break
+        interactions += gap
+        # searchsorted(cumsum(w), r, side='right'): smallest e with
+        # cumsum[e] > r — computed as a linear scan (E is small).
+        r = rng.integers(0, total)
+        acc = 0
+        pick = num_pairs - 1
+        for e in range(num_pairs):
+            acc += counts[eff_a[e]] * (counts[eff_b[e]] - eff_same[e])
+            if r < acc:
+                pick = e
+                break
+        for s in range(num_states):
+            counts[s] += eff_delta[pick, s]
+        last_change = interactions
+    return interactions, last_change, absorbed

@@ -1,0 +1,254 @@
+"""Optional Cython backend: a compiled counts kernel behind the seam.
+
+The kernel itself lives in ``_cython_kernels.pyx`` — a C loop over the
+weight/selection arithmetic that draws through the engine's own
+``np.random.Generator`` methods, so the random stream is consumed by
+NumPy's own sampler code and bit-identity holds by construction.  This
+module is the *loader*: it finds (or builds) the compiled extension
+and gates acceptance, with the same safety contract as the numba
+backend:
+
+* **Guarded load.** :func:`load` never raises.  It resolves the
+  extension in two steps — import the prebuilt
+  ``repro.core.kernels._cython_kernels`` (produced by ``python
+  setup.py build_ext --inplace`` or a from-source ``pip install`` with
+  Cython present), else lazily compile the shipped ``.pyx`` into a
+  per-interpreter cache directory when Cython and a C compiler are
+  available.  Any failure returns ``(None, reason)`` with a concrete,
+  human-readable reason — recorded by the registry as the backend's
+  ``backend_fallback_reason`` and printed by ``repro backends``, so an
+  unavailable accelerator is never silent.
+* **Bit-identity self-check.** Before acceptance the compiled counts
+  kernel must reproduce the numpy reference draw-for-draw on the same
+  scenarios the numba backend is checked against (trajectories, step
+  outcomes *and* post-run bit-generator states).
+* **Per-kernel provenance.** ``batch_step`` is served by the numpy
+  reference: its hot path is a handful of vectorised
+  ``binomial``/``multinomial`` draws per batch, so there is no
+  per-interaction Python overhead for a C loop to remove (the numba
+  backend's batched-RNG port is the compiled answer for that kernel).
+  The delegation is recorded explicitly in the returned provenance —
+  ``batch_step: numpy (delegated: ...)`` — never implied.
+
+The lazy build writes to ``~/.cache/repro/cython-kernels/<tag>`` (or
+``$REPRO_CYTHON_CACHE``), keyed on interpreter and source mtime, so a
+sweep fleet pays the compile once per machine, not once per process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import os
+import sys
+import sysconfig
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import numpy_backend
+from .inputs import KernelInputs
+
+__all__ = ["load"]
+
+#: Registry name of this backend.
+NAME = "cython"
+
+#: Module name of the compiled extension inside this package.
+_EXTENSION_NAME = "_cython_kernels"
+
+#: Environment override for the lazy-build cache directory.
+_CACHE_ENV = "REPRO_CYTHON_CACHE"
+
+
+def _pyx_path() -> Path:
+    return Path(__file__).with_name(f"{_EXTENSION_NAME}.pyx")
+
+
+def _cache_dir() -> Path:
+    """Per-interpreter, per-source cache directory for the lazy build."""
+    pyx = _pyx_path()
+    tag = hashlib.sha256(
+        "\n".join(
+            [
+                sys.executable,
+                sysconfig.get_platform(),
+                f"{sys.version_info.major}.{sys.version_info.minor}",
+                np.__version__,
+                pyx.read_text(encoding="utf-8"),
+            ]
+        ).encode("utf-8")
+    ).hexdigest()[:16]
+    root = os.environ.get(_CACHE_ENV)
+    base = Path(root) if root else Path.home() / ".cache" / "repro" / "cython-kernels"
+    return base / tag
+
+
+def _import_prebuilt():
+    """The extension built into the package tree, or ``None``."""
+    try:
+        from . import _cython_kernels  # noqa: F401
+
+        return _cython_kernels
+    except ImportError:
+        return None
+
+
+def _import_cached(cache: Path):
+    """A previously lazy-built extension from the cache, or ``None``."""
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    candidate = cache / f"{_EXTENSION_NAME}{suffix}"
+    if not candidate.exists():
+        return None
+    return _import_from_file(candidate)
+
+
+def _import_from_file(path: Path):
+    spec = importlib.util.spec_from_file_location(
+        f"repro_lazy{_EXTENSION_NAME}", path
+    )
+    if spec is None or spec.loader is None:  # pragma: no cover - defensive
+        raise ImportError(f"cannot load extension from {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _lazy_build(cache: Path):
+    """Cythonize + compile the shipped ``.pyx`` into the cache dir.
+
+    Builds in a scratch subdirectory first and promotes the finished
+    artifact with an atomic rename, so concurrent loaders (a sweep
+    fleet cold-starting on one machine) cannot observe a half-written
+    extension — the losers of the rename race just import the winner's.
+    """
+    import tempfile
+
+    from Cython.Build import cythonize
+    from setuptools import Extension
+    from setuptools.dist import Distribution
+
+    cache.mkdir(parents=True, exist_ok=True)
+    scratch = Path(tempfile.mkdtemp(prefix="build-", dir=cache))
+    extension = Extension(
+        _EXTENSION_NAME,
+        [str(_pyx_path())],
+        include_dirs=[np.get_include()],
+    )
+    distribution = Distribution(
+        {
+            "ext_modules": cythonize(
+                [extension],
+                language_level="3",
+                build_dir=str(scratch / "c"),
+                quiet=True,
+            )
+        }
+    )
+    command = distribution.get_command_obj("build_ext")
+    command.build_lib = str(scratch / "lib")
+    command.build_temp = str(scratch / "tmp")
+    distribution.run_command("build_ext")
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    built = next((scratch / "lib").glob(f"{_EXTENSION_NAME}*{suffix}"))
+    final = cache / f"{_EXTENSION_NAME}{suffix}"
+    os.replace(built, final)
+    return _import_from_file(final)
+
+
+def _resolve_extension():
+    """Find or build the compiled extension.
+
+    Returns ``(module, None)`` or ``(None, reason)``; never raises.
+    """
+    module = _import_prebuilt()
+    if module is not None:
+        return module, None
+    try:
+        cache = _cache_dir()
+        module = _import_cached(cache)
+        if module is not None:
+            return module, None
+    except Exception as error:  # pragma: no cover - corrupt cache
+        return None, f"cached cython extension failed to import ({error})"
+    try:
+        import Cython  # noqa: F401
+    except ImportError:
+        return None, (
+            "no prebuilt _cython_kernels extension and the 'Cython' "
+            "package is not installed (build one with "
+            "'python setup.py build_ext --inplace')"
+        )
+    try:
+        return _lazy_build(cache), None
+    except Exception as error:
+        return None, f"cython kernel build failed ({error})"
+
+
+def _wrap_counts_step(counts_step_raw):
+    """Adapt the compiled kernel to the backend-level kernel signature."""
+
+    def counts_step(
+        inputs: KernelInputs,
+        counts: np.ndarray,
+        rng: np.random.Generator,
+        start: int,
+        target: int,
+    ) -> Tuple[int, Optional[int], bool]:
+        interactions, last_change, absorbed = counts_step_raw(
+            inputs.eff_a,
+            inputs.eff_b,
+            inputs.eff_same,
+            inputs.eff_delta,
+            inputs.pair_denominator,
+            counts,
+            rng,
+            start,
+            target,
+        )
+        return (
+            int(interactions),
+            None if last_change < 0 else int(last_change),
+            bool(absorbed),
+        )
+
+    return counts_step
+
+
+def load():
+    """Try to build the cython backend.
+
+    Returns ``(kernels, None)`` on success or ``(None, reason)`` when
+    the extension is missing and cannot be built, or when the compiled
+    kernel fails the bit-identity self-check.  Never raises.  The
+    ``kernels`` dict carries per-kernel provenance; ``batch_step`` is
+    always an explicit, recorded delegation to numpy (see the module
+    docstring for why that is the right call for that kernel).
+    """
+    module, reason = _resolve_extension()
+    if module is None:
+        return None, reason
+    # share the numba backend's self-check scenarios: the acceptance
+    # contract is one and the same for every compiled backend
+    from . import numba_backend
+
+    try:
+        counts_step = _wrap_counts_step(module.counts_step_raw)
+        mismatch = numba_backend._self_check(counts_step)
+    except Exception as error:
+        return None, f"cython kernel execution failed ({error})"
+    if mismatch is not None:
+        return None, f"cython kernel failed the bit-identity self-check: {mismatch}"
+    return {
+        "counts_step": counts_step,
+        "batch_step": numpy_backend.batch_step,
+        "provenance": {
+            "counts_step": NAME,
+            "batch_step": (
+                "numpy (delegated: batch draws are vectorised "
+                "binomial/multinomial calls with no per-interaction "
+                "Python overhead for a C loop to remove)"
+            ),
+        },
+    }, None

@@ -1,0 +1,266 @@
+"""Nopython-compilable ports of NumPy's binomial/multinomial samplers.
+
+Numba's ``np.random.Generator`` support covers ``random``/``integers``/
+``geometric`` but not ``binomial``/``multinomial`` — which is exactly
+what the τ-leaping batch kernel draws.  This module closes that gap
+with *bit-exact* scalar ports of NumPy's C samplers
+(``numpy/random/src/distributions/distributions.c``):
+
+* :func:`random_binomial` — the ``random_binomial`` dispatcher with both
+  of its branches, the inversion algorithm (``n·p ≤ 30``) and BTPE
+  (Kachitvichyanukul & Schmeiser 1988) for larger means, including the
+  ``p > 0.5`` complement trick;
+* :func:`random_multinomial` — the conditional-binomial decomposition
+  (``random_multinomial``), which draws each component as a binomial of
+  the *remaining* trials and probability mass in index order.
+
+Both consume uniforms through ``rng.random()`` — one scalar call per
+``next_double`` of the C code — so running them against a
+``np.random.Generator`` advances the *same* PCG64 bitstream by the
+*same* amount as calling ``rng.binomial`` / ``rng.multinomial``
+directly.  NumPy's per-generator ``binomial_t`` constant cache is
+deliberately dropped: it memoises deterministic functions of ``(n, p)``
+and never changes results.
+
+Draw-for-draw equivalence is enforced twice: pinned-bitstream tests in
+``tests/test_numba_rng.py`` compare these functions (uncompiled, so the
+check runs on machines without numba) against ``np.random.Generator``
+on both algorithm branches, and the numba backend's load-time
+self-check re-proves the *compiled* versions before the backend is
+accepted.
+
+The functions are built by closure factories so the exact same source
+yields the pure-Python instances (module level, used by tests and by
+the self-check on numba-less machines) and the ``numba.njit``-compiled
+instances (:func:`compile_rng`, called by the backend loader) — there
+is one algorithm, not a Python copy and a compiled copy that could
+drift apart.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["random_binomial", "random_multinomial", "compile_rng"]
+
+#: ``DBL_MAX`` — BTPE's stand-in for ``log(0)`` (C: ``-DBL_MAX``).
+_DBL_MAX = 1.7976931348623157e308
+
+
+def _make_binomial_inversion():
+    def binomial_inversion(rng, n, p):
+        """``random_binomial_inversion``: CDF search by repeated uniforms.
+
+        Used for ``n·p ≤ 30``.  Consumes one double per attempt round;
+        the ``X > bound`` guard restarts the search exactly like the C
+        code (the bound is where the pmf has decayed past recovery).
+        """
+        q = 1.0 - p
+        qn = math.exp(n * math.log(q))
+        mean = n * p
+        # C: (int64_t)MIN(n, np + 10.0*sqrt(np*q + 1)) — MIN in double,
+        # then truncate.  n here is far below 2^53, so float(n) is exact.
+        fbound = mean + 10.0 * math.sqrt(mean * q + 1.0)
+        bound = n if float(n) <= fbound else int(fbound)
+        X = 0
+        px = qn
+        U = rng.random()
+        while U > px:
+            X += 1
+            if X > bound:
+                X = 0
+                px = qn
+                U = rng.random()
+            else:
+                U -= px
+                px = ((n - X + 1) * p * px) / (X * q)
+        return X
+
+    return binomial_inversion
+
+
+def _make_binomial_btpe():
+    def binomial_btpe(rng, n, p):
+        """``random_binomial_btpe``: triangle/parallelogram/exponential
+        envelope rejection for ``n·p > 30`` (two doubles per attempt).
+
+        A faithful transliteration of the C control flow: Step10 is the
+        ``while True`` restart, Step50 the explicit-product squeeze for
+        ``|y - m|`` small, Step52 the Stirling-correction squeeze.
+        """
+        r = p if p <= 1.0 - p else 1.0 - p
+        q = 1.0 - r
+        fm = n * r + r
+        m = int(math.floor(fm))
+        p1 = math.floor(2.195 * math.sqrt(n * r * q) - 4.6 * q) + 0.5
+        xm = m + 0.5
+        xl = xm - p1
+        xr = xm + p1
+        c = 0.134 + 20.5 / (15.3 + m)
+        a = (fm - xl) / (fm - xl * r)
+        laml = a * (1.0 + a / 2.0)
+        a = (xr - fm) / (xr * q)
+        lamr = a * (1.0 + a / 2.0)
+        p2 = p1 * (1.0 + 2.0 * c)
+        p3 = p2 + c / laml
+        p4 = p3 + c / lamr
+        y = 0
+        while True:  # Step10
+            nrq = n * r * q
+            u = rng.random() * p4
+            v = rng.random()
+            if u <= p1:
+                y = int(math.floor(xm - p1 * v + u))
+                break  # Step60
+            if u <= p2:  # Step20: parallelogram region
+                x = xl + (u - p1) / c
+                v = v * c + 1.0 - abs(m - x + 0.5) / p1
+                if v > 1.0:
+                    continue
+                y = int(math.floor(x))
+            elif u <= p3:  # Step30: left exponential tail
+                # C casts floor(xl + log(v)/laml) with v possibly 0 (UB)
+                # and then rejects on (y < 0 || v == 0); rejecting v == 0
+                # first is behaviourally identical and defined.
+                if v == 0.0:
+                    continue
+                y = int(math.floor(xl + math.log(v) / laml))
+                if y < 0:
+                    continue
+                v = v * (u - p2) * laml
+            else:  # Step40: right exponential tail
+                if v == 0.0:
+                    continue
+                y = int(math.floor(xr - math.log(v) / lamr))
+                if y > n:
+                    continue
+                v = v * (u - p3) * lamr
+            # Step50: explicit pmf-ratio squeeze for small |y - m|
+            k = y - m if y >= m else m - y
+            if not (k > 20 and k < nrq / 2.0 - 1):
+                s = r / q
+                a = s * (n + 1)
+                F = 1.0
+                if m < y:
+                    for i in range(m + 1, y + 1):
+                        F *= a / i - s
+                elif m > y:
+                    for i in range(y + 1, m + 1):
+                        F /= a / i - s
+                if v > F:
+                    continue
+                break  # Step60
+            # Step52: squeeze via Stirling-series bounds
+            rho = (k / nrq) * (
+                (k * (k / 3.0 + 0.625) + 0.16666666666666666) / nrq + 0.5
+            )
+            t = -k * k / (2.0 * nrq)
+            A = -_DBL_MAX if v == 0.0 else math.log(v)
+            if A < t - rho:
+                break  # Step60
+            if A > t + rho:
+                continue
+            x1 = float(y + 1)
+            f1 = float(m + 1)
+            z = float(n + 1 - m)
+            w = float(n - y + 1)
+            x2 = x1 * x1
+            f2 = f1 * f1
+            z2 = z * z
+            w2 = w * w
+            if A > (
+                xm * math.log(f1 / x1)
+                + (n - m + 0.5) * math.log(z / w)
+                + (y - m) * math.log(w * r / (x1 * q))
+                + (13680.0 - (462.0 - (132.0 - (99.0 - 140.0 / f2) / f2) / f2) / f2)
+                / f1
+                / 166320.0
+                + (13680.0 - (462.0 - (132.0 - (99.0 - 140.0 / z2) / z2) / z2) / z2)
+                / z
+                / 166320.0
+                + (13680.0 - (462.0 - (132.0 - (99.0 - 140.0 / x2) / x2) / x2) / x2)
+                / x1
+                / 166320.0
+                + (13680.0 - (462.0 - (132.0 - (99.0 - 140.0 / w2) / w2) / w2) / w2)
+                / w
+                / 166320.0
+            ):
+                continue
+            break  # Step60
+        # the C Step60 complement flip is in the dispatcher here (the
+        # dispatcher always passes p <= 0.5, so psave > 0.5 never holds)
+        return y
+
+    return binomial_btpe
+
+
+def _make_random_binomial(binomial_inversion, binomial_btpe):
+    def random_binomial(rng, p, n):
+        """``random_binomial``: dispatch on mean and complement on p > ½.
+
+        ``n == 0`` / ``p == 0`` return 0 without consuming randomness,
+        exactly like the C dispatcher.
+        """
+        if n == 0 or p == 0.0:
+            return 0
+        if p <= 0.5:
+            if p * n <= 30.0:
+                return binomial_inversion(rng, n, p)
+            return binomial_btpe(rng, n, p)
+        q = 1.0 - p
+        if q * n <= 30.0:
+            return n - binomial_inversion(rng, n, q)
+        return n - binomial_btpe(rng, n, q)
+
+    return random_binomial
+
+
+def _make_random_multinomial(random_binomial):
+    def random_multinomial(rng, n, pix, mnix):
+        """``random_multinomial``: conditional-binomial decomposition.
+
+        Fills ``mnix`` (length ``d``, zeroed here) with a draw from
+        ``Multinomial(n, pix)``.  ``remaining_p`` decays by *subtraction*
+        (not renormalisation) to match the C arithmetic bit for bit.
+        """
+        d = pix.shape[0]
+        for j in range(d):
+            mnix[j] = 0
+        remaining_p = 1.0
+        dn = n
+        for j in range(d - 1):
+            mnix[j] = random_binomial(rng, pix[j] / remaining_p, dn)
+            dn = dn - mnix[j]
+            if dn <= 0:
+                break
+            remaining_p = remaining_p - pix[j]
+        if dn > 0:
+            mnix[d - 1] = dn
+
+    return random_multinomial
+
+
+#: Pure-Python instances: what the pinned-bitstream tests exercise and
+#: what the uncompiled self-check runs on machines without numba.
+random_binomial = _make_random_binomial(
+    _make_binomial_inversion(), _make_binomial_btpe()
+)
+random_multinomial = _make_random_multinomial(random_binomial)
+
+
+def compile_rng():
+    """Compile the sampler stack with ``numba.njit``.
+
+    Returns ``(random_binomial, random_multinomial)`` as numba
+    dispatchers.  Raises when numba is missing or compilation fails —
+    the backend loader catches and records the reason.  Each layer
+    closes over the already-compiled layer below it, so the whole stack
+    runs in nopython mode.
+    """
+    import numba
+
+    inversion = numba.njit(_make_binomial_inversion())
+    btpe = numba.njit(_make_binomial_btpe())
+    binomial = numba.njit(_make_random_binomial(inversion, btpe))
+    multinomial = numba.njit(_make_random_multinomial(binomial))
+    return binomial, multinomial

@@ -23,9 +23,10 @@ from typing import Callable, Dict, Optional, Tuple
 
 from ...errors import SimulationError
 from ...obs import metrics as obs_metrics
-from . import numba_backend, numpy_backend
+from . import cython_backend, numba_backend, numpy_backend
 
 __all__ = [
+    "KERNEL_NAMES",
     "KernelBackend",
     "available_backends",
     "backend_fallback_reason",
@@ -39,6 +40,10 @@ __all__ = [
 
 #: Names accepted as "use the default backend".
 _DEFAULT_ALIASES = (None, "auto", "default")
+
+
+#: The kernels every backend must provide, in display order.
+KERNEL_NAMES = ("counts_step", "batch_step")
 
 
 @dataclass(frozen=True)
@@ -60,6 +65,14 @@ class KernelBackend:
         One line for ``repro backends``.
     compiled:
         Whether the backend runs machine-compiled kernels.
+    provenance:
+        ``(kernel, served_by)`` pairs recording which implementation
+        *actually* serves each kernel — ``served_by`` is the backend's
+        own name for a native kernel, or e.g. ``'numpy (delegated:
+        <reason>)'`` when this backend hands a kernel to another one.
+        Kernels not listed are served natively.  Delegation is
+        therefore never silent: ``repro backends`` and ``repr()`` both
+        surface it.
     """
 
     name: str
@@ -67,6 +80,30 @@ class KernelBackend:
     batch_step: Callable
     description: str = ""
     compiled: bool = False
+    provenance: Tuple[Tuple[str, str], ...] = ()
+
+    def kernel_provenance(self, kernel: str) -> str:
+        """Which implementation serves ``kernel`` (the backend's own
+        name unless the kernel is delegated)."""
+        for kernel_name, served_by in self.provenance:
+            if kernel_name == kernel:
+                return served_by
+        return self.name
+
+    @property
+    def provenance_map(self) -> Dict[str, str]:
+        """Per-kernel provenance for every kernel, display order."""
+        return {kernel: self.kernel_provenance(kernel) for kernel in KERNEL_NAMES}
+
+    def __repr__(self) -> str:
+        served = ", ".join(
+            f"{kernel}: {served_by}"
+            for kernel, served_by in self.provenance_map.items()
+        )
+        return (
+            f"KernelBackend(name={self.name!r}, {served}, "
+            f"compiled={self.compiled})"
+        )
 
 
 #: Loader registry: name -> zero-argument callable returning
@@ -120,10 +157,31 @@ def _load_numba() -> Tuple[Optional[KernelBackend], Optional[str]]:
             counts_step=kernels["counts_step"],
             batch_step=kernels["batch_step"],
             description=(
-                "Numba-JIT counts kernel, bit-identical to numpy "
-                "(self-checked at load)"
+                "Numba-JIT counts + batched-RNG τ-leaping kernels, "
+                "bit-identical to numpy (self-checked at load)"
             ),
             compiled=True,
+            provenance=tuple(sorted(kernels["provenance"].items())),
+        ),
+        None,
+    )
+
+
+def _load_cython() -> Tuple[Optional[KernelBackend], Optional[str]]:
+    kernels, reason = cython_backend.load()
+    if kernels is None:
+        return None, reason
+    return (
+        KernelBackend(
+            name="cython",
+            counts_step=kernels["counts_step"],
+            batch_step=kernels["batch_step"],
+            description=(
+                "Cython-compiled counts kernel, bit-identical to numpy "
+                "(self-checked at load); batch delegates to numpy"
+            ),
+            compiled=True,
+            provenance=tuple(sorted(kernels["provenance"].items())),
         ),
         None,
     )
@@ -131,6 +189,7 @@ def _load_numba() -> Tuple[Optional[KernelBackend], Optional[str]]:
 
 register_backend("numpy", _load_numpy)
 register_backend("numba", _load_numba)
+register_backend("cython", _load_cython)
 
 
 def _resolve(name: str) -> Optional[KernelBackend]:
@@ -166,16 +225,19 @@ def default_backend() -> str:
     """The backend used when none is requested.
 
     The Numba JIT backend when it is importable *and* passes its
-    load-time bit-identity self-check, else the NumPy reference.
-    Backends are bit-identical by contract (the numba one is
-    additionally self-checked draw-for-draw at load), so preferring the
-    compiled backend changes throughput only — results are byte-equal
-    whether or not the optional dependency is installed.  The resolved
-    choice is recorded per run in ``RunResult.metadata['backend']`` and
-    the persistence manifest's ``run_info``.
+    load-time bit-identity self-check; else the Cython backend under
+    the same conditions (its counts kernel is compiled, its batch
+    kernel delegates to numpy); else the NumPy reference.  Backends are
+    bit-identical by contract (the compiled ones are additionally
+    self-checked draw-for-draw at load), so preferring a compiled
+    backend changes throughput only — results are byte-equal whatever
+    optional dependencies are installed.  The resolved choice is
+    recorded per run in ``RunResult.metadata['backend']`` and the
+    persistence manifest's ``run_info``.
     """
-    if "numba" in _LOADERS and _resolve("numba") is not None:
-        return "numba"
+    for name in ("numba", "cython"):
+        if name in _LOADERS and _resolve(name) is not None:
+            return name
     return "numpy"
 
 

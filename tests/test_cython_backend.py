@@ -1,0 +1,159 @@
+"""The optional Cython kernel backend: loader contract + provenance.
+
+On machines without the compiled extension (and without Cython to
+lazy-build it) these tests pin the *fallback* contract: the backend is
+registered, its unavailability reason is concrete and explicit, and an
+explicit request falls back to the default with one warning — never
+silently.  With the extension built (the CI ``kernels-cython`` leg),
+the skipif-guarded tests pin acceptance: the counts kernel is served
+natively after passing the load-time bit-identity self-check, the
+batch kernel is an *explicitly recorded* delegation to numpy, and
+engine trajectories are bit-identical to the reference (the
+cross-backend suites in ``tests/test_kernels.py`` additionally pick
+the backend up via ``available_backends()``).
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import CountsEngine
+from repro.core.kernels import (
+    available_backends,
+    backend_fallback_reason,
+    default_backend,
+    get_backend,
+    registered_backends,
+    reset_backend_state,
+)
+from repro.core.kernels import cython_backend
+from repro.protocols import UndecidedStateDynamics
+
+
+def _cython_available() -> bool:
+    return "cython" in available_backends()
+
+
+class TestRegistration:
+    def test_cython_is_registered(self):
+        assert "cython" in registered_backends()
+
+    def test_unavailability_reason_is_explicit(self):
+        if _cython_available():
+            assert backend_fallback_reason("cython") is None
+        else:
+            reason = backend_fallback_reason("cython")
+            # the reason must name what is missing and how to fix it —
+            # an unavailable accelerator is never silent or vague
+            assert reason
+            assert "cython" in reason.lower()
+            assert "build_ext" in reason or "build" in reason
+
+    def test_load_never_raises(self):
+        kernels, reason = cython_backend.load()
+        assert (kernels is None) != (reason is None)
+
+
+class TestFallback:
+    @pytest.fixture(autouse=True)
+    def fresh_state(self):
+        reset_backend_state()
+        yield
+        reset_backend_state()
+
+    @pytest.mark.skipif(_cython_available(), reason="cython backend is built")
+    def test_explicit_request_warns_once_and_falls_back(self):
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            backend = get_backend("cython")
+        assert backend.name == default_backend()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert get_backend("cython").name == default_backend()
+
+    @pytest.mark.skipif(_cython_available(), reason="cython backend is built")
+    def test_fallback_engine_still_runs(self):
+        protocol = UndecidedStateDynamics(k=2)
+        with pytest.warns(RuntimeWarning):
+            engine = CountsEngine(
+                protocol, np.array([10, 30, 20]), seed=3, backend="cython"
+            )
+        assert engine.backend == default_backend()
+        engine.step(500)
+        assert engine.counts.sum() == 60
+
+
+class TestAccepted:
+    """Contracts that only run where the extension is actually built."""
+
+    pytestmark = pytest.mark.skipif(
+        not _cython_available(), reason="cython backend not built"
+    )
+
+    def test_counts_kernel_served_natively(self):
+        backend = get_backend("cython")
+        assert backend.name == "cython"
+        assert backend.compiled
+        assert backend.kernel_provenance("counts_step") == "cython"
+
+    def test_batch_delegation_is_recorded_not_silent(self):
+        backend = get_backend("cython")
+        provenance = backend.kernel_provenance("batch_step")
+        assert provenance.startswith("numpy (delegated:")
+        # and the repr carries it, so debugging output is honest too
+        assert "batch_step: numpy (delegated:" in repr(backend)
+
+    def test_counts_trajectory_bit_identical_to_numpy(self):
+        protocol = UndecidedStateDynamics(k=3)
+        initial = np.array([0, 120, 90, 90])
+        reference = None
+        for backend in ("numpy", "cython"):
+            engine = CountsEngine(
+                protocol, initial.copy(), seed=17, backend=backend
+            )
+            snapshots = []
+            for _ in range(30):
+                engine.step(37)
+                snapshots.append(
+                    (engine.interactions, engine.counts.tolist(), engine.is_absorbed)
+                )
+            state = engine.rng.bit_generator.state
+            if reference is None:
+                reference = (snapshots, state)
+            else:
+                assert snapshots == reference[0]
+                assert state == reference[1]
+
+    def test_kernel_step_seconds_histogram_works_on_cython_kernel(self):
+        """The obs chunk-boundary hook is backend-agnostic; prove it
+        observes the compiled kernel too."""
+        from repro import simulate
+        from repro.obs import ObsConfig
+        from repro.workloads import paper_initial_configuration
+
+        protocol = UndecidedStateDynamics(k=3)
+        config = paper_initial_configuration(500, 3)
+        result = simulate(
+            protocol,
+            config,
+            seed=3,
+            max_parallel_time=300,
+            backend="cython",
+            obs=ObsConfig(metrics=True),
+        )
+        assert result.metadata["backend"] == "cython"
+        snapshot = result.metadata["obs_metrics"]
+        assert snapshot["histograms"]["kernel_step_seconds"]["count"] > 0
+
+
+class TestLazyBuildCache:
+    def test_cache_dir_is_deterministic_per_source(self):
+        assert cython_backend._cache_dir() == cython_backend._cache_dir()
+
+    def test_cache_dir_honours_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(cython_backend._CACHE_ENV, str(tmp_path))
+        assert cython_backend._cache_dir().parent == tmp_path
+
+    def test_pyx_source_ships_with_the_package(self):
+        # the lazy build path needs the .pyx next to the loader
+        assert cython_backend._pyx_path().exists()

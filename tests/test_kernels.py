@@ -41,12 +41,18 @@ class TestRegistry:
 
     def test_registered_superset_of_available(self):
         assert set(available_backends()) <= set(registered_backends())
-        assert {"numpy", "numba"} <= set(registered_backends())
+        assert {"numpy", "numba", "cython"} <= set(registered_backends())
 
-    def test_default_prefers_numba_when_available(self):
-        # numba is the 'auto' resolution when importable (it is
-        # bit-identity self-checked at load); numpy otherwise
-        expected = "numba" if _numba_available() else "numpy"
+    def test_default_prefers_compiled_backends_in_order(self):
+        # 'auto' resolution order: numba > cython > numpy — each compiled
+        # backend is bit-identity self-checked at load before it can win
+        available = available_backends()
+        if "numba" in available:
+            expected = "numba"
+        elif "cython" in available:
+            expected = "cython"
+        else:
+            expected = "numpy"
         assert default_backend() == expected
 
     def test_aliases_resolve_to_default(self):
@@ -62,6 +68,37 @@ class TestRegistry:
         assert backend.name == "numpy"
         assert callable(backend.counts_step)
         assert callable(backend.batch_step)
+
+    def test_numpy_backend_serves_every_kernel_natively(self):
+        from repro.core.kernels import KERNEL_NAMES
+
+        backend = get_backend("numpy")
+        assert set(backend.provenance_map) == set(KERNEL_NAMES)
+        for kernel in KERNEL_NAMES:
+            assert backend.kernel_provenance(kernel) == "numpy"
+
+    def test_repr_surfaces_per_kernel_provenance(self):
+        # per-kernel provenance is a first-class part of the backend's
+        # identity: delegation must be visible in plain debugging output
+        text = repr(get_backend("numpy"))
+        assert "counts_step: numpy" in text
+        assert "batch_step: numpy" in text
+        for backend in available_backends():
+            text = repr(get_backend(backend))
+            assert "counts_step:" in text and "batch_step:" in text
+
+    def test_compiled_backends_never_delegate_silently(self):
+        # whatever is available, every kernel's provenance is either the
+        # backend itself or an explicit "numpy (delegated: <reason>)"
+        from repro.core.kernels import KERNEL_NAMES
+
+        for name in available_backends():
+            backend = get_backend(name)
+            for kernel in KERNEL_NAMES:
+                served_by = backend.kernel_provenance(kernel)
+                assert served_by == name or served_by.startswith(
+                    "numpy (delegated: "
+                ), f"{name}.{kernel} has opaque provenance {served_by!r}"
 
 
 class TestNumbaFallback:
@@ -188,7 +225,10 @@ class TestBackendThreading:
         assert args.backend == "numpy"
         assert main(["backends"]) == 0
         out = capsys.readouterr().out
-        assert "numpy" in out and "numba" in out and "default" in out
+        assert "numpy" in out and "numba" in out and "cython" in out
+        assert "default" in out
+        # the listing shows per-kernel provenance for available backends
+        assert "counts_step: numpy" in out and "batch_step: numpy" in out
 
 
 # ----------------------------------------------------------------------
@@ -258,7 +298,7 @@ def test_batch_trajectories_bit_identical_across_backends(name, seed):
             assert state == reference[1], f"{backend} consumed a different stream"
 
 
-@pytest.mark.parametrize("backend", ["numpy", "numba"])
+@pytest.mark.parametrize("backend", ["numpy", "numba", "cython"])
 def test_simulate_results_identical_for_every_backend_request(backend):
     """End to end: a seeded simulate() gives the same RunResult numbers
     whatever backend is requested (including unavailable ones, which

@@ -1,0 +1,304 @@
+"""Pinned-bitstream tests for the ported binomial/multinomial samplers.
+
+The τ-leaping batch kernel can only JIT-compile if the
+``binomial``/``multinomial`` draws it makes are *bit-exact* ports of
+NumPy's C samplers — same results, same number of uniforms consumed,
+so the PCG64 bitstream advances identically.  These tests run the
+pure-Python instances from :mod:`repro.core.kernels.numba_rng` (the
+same source the numba backend compiles) head-to-head against
+``np.random.Generator`` on both algorithm branches of the binomial
+(inversion for ``n·p ≤ 30``, BTPE above, each with the ``p > ½``
+complement) and on the conditional-binomial multinomial decomposition,
+checking every draw *and* the post-run bit-generator state.
+
+They need no numba: the compiled instances are re-proved by the
+backend's load-time self-check, and ``tests/test_kernels.py`` pins the
+engine-level trajectories across backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import numba_backend, numba_rng, numpy_backend
+from repro.core.kernels.inputs import KernelInputs
+from repro.protocols import FourStateExactMajority, UndecidedStateDynamics, VoterModel
+
+# ----------------------------------------------------------------------
+# random_binomial vs np.random.Generator.binomial
+# ----------------------------------------------------------------------
+
+#: (n, p) grid labelled by the distributions.c branch it must take.
+BINOMIAL_CASES = [
+    # inversion: p <= 0.5 and n*p <= 30
+    ("inversion-small", 10, 0.3),
+    ("inversion-rare", 1000, 0.0001),
+    ("inversion-boundary", 60, 0.5),  # n*p == 30 exactly
+    ("inversion-huge-n", 10**12, 1e-11),
+    ("inversion-single", 1, 0.5),
+    # inversion via complement: p > 0.5 and n*(1-p) <= 30
+    ("inversion-complement", 30, 0.9999),
+    ("inversion-complement-29", 29, 0.999),
+    ("inversion-certain", 7, 1.0),
+    # btpe: p <= 0.5 and n*p > 30
+    ("btpe-medium", 100, 0.4),
+    ("btpe-half", 62, 0.5),
+    ("btpe-large-n", 10**6, 0.001),
+    ("btpe-huge-n", 10**9, 1e-6),
+    ("btpe-wide", 123456, 0.37),
+    # btpe via complement: p > 0.5 and n*(1-p) > 30
+    ("btpe-complement", 1000, 0.93),
+    ("btpe-complement-large", 10**7, 0.75),
+]
+
+
+@pytest.mark.parametrize(
+    "n,p", [case[1:] for case in BINOMIAL_CASES],
+    ids=[case[0] for case in BINOMIAL_CASES],
+)
+def test_binomial_matches_numpy_draw_for_draw(n, p):
+    """Every draw equals Generator.binomial AND the bitstream advances
+    by the same amount (the post-run PCG64 state is equal)."""
+    for seed in range(40):
+        reference = np.random.Generator(np.random.PCG64(seed))
+        ported = np.random.Generator(np.random.PCG64(seed))
+        expected = [int(reference.binomial(n, p)) for _ in range(12)]
+        got = [numba_rng.random_binomial(ported, p, n) for _ in range(12)]
+        assert got == expected, f"seed {seed}: draws diverge"
+        assert (
+            ported.bit_generator.state == reference.bit_generator.state
+        ), f"seed {seed}: bitstream consumption diverges"
+
+
+def test_binomial_case_grid_covers_both_branches():
+    """Guard the test grid itself: both distributions.c branches (and
+    both complement branches) must stay represented."""
+    branches = set()
+    for _, n, p in BINOMIAL_CASES:
+        effective_p = p if p <= 0.5 else 1.0 - p
+        algorithm = "inversion" if effective_p * n <= 30.0 else "btpe"
+        branches.add((algorithm, p > 0.5))
+    assert branches == {
+        ("inversion", False),
+        ("inversion", True),
+        ("btpe", False),
+        ("btpe", True),
+    }
+
+
+def test_binomial_degenerate_args_consume_no_randomness():
+    """n == 0 / p == 0 return 0 without touching the stream, exactly
+    like the C dispatcher."""
+    rng = np.random.Generator(np.random.PCG64(5))
+    before = rng.bit_generator.state
+    assert numba_rng.random_binomial(rng, 0.0, 100) == 0
+    assert numba_rng.random_binomial(rng, 0.3, 0) == 0
+    assert rng.bit_generator.state == before
+
+
+def test_binomial_certain_success_matches_numpy():
+    """p == 1.0 goes through the complement-inversion path (one double
+    consumed) and returns n — as numpy does."""
+    reference = np.random.Generator(np.random.PCG64(9))
+    ported = np.random.Generator(np.random.PCG64(9))
+    assert numba_rng.random_binomial(ported, 1.0, 55) == int(
+        reference.binomial(55, 1.0)
+    )
+    assert ported.bit_generator.state == reference.bit_generator.state
+
+
+# ----------------------------------------------------------------------
+# random_multinomial vs np.random.Generator.multinomial
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("d", [2, 3, 6, 17])
+@pytest.mark.parametrize("n", [1, 5, 537, 10_000, 1_000_000])
+def test_multinomial_matches_numpy_draw_for_draw(d, n):
+    pvals_rng = np.random.Generator(np.random.PCG64(d * 1000 + n % 997))
+    for trial in range(25):
+        # alternate concentrated / diffuse weight vectors so the
+        # conditional binomials sweep p across (0, 1), both branches
+        alpha = 0.3 if trial % 2 else 3.0
+        pvals = pvals_rng.dirichlet(np.full(d, alpha))
+        seed = trial * 31 + d
+        reference = np.random.Generator(np.random.PCG64(seed))
+        ported = np.random.Generator(np.random.PCG64(seed))
+        expected = reference.multinomial(n, pvals)
+        got = np.zeros(d, dtype=np.int64)
+        numba_rng.random_multinomial(ported, n, pvals, got)
+        assert np.array_equal(got, expected), f"d={d} n={n} trial={trial}"
+        assert ported.bit_generator.state == reference.bit_generator.state
+
+
+def test_multinomial_early_exhaustion_leaves_tail_zero():
+    """When the first component absorbs all trials the loop breaks and
+    the remaining components stay zero — matching numpy."""
+    pvals = np.array([0.999999, 5e-7, 5e-7])
+    for seed in range(50):
+        reference = np.random.Generator(np.random.PCG64(seed))
+        ported = np.random.Generator(np.random.PCG64(seed))
+        expected = reference.multinomial(3, pvals)
+        got = np.zeros(3, dtype=np.int64)
+        numba_rng.random_multinomial(ported, 3, pvals, got)
+        assert np.array_equal(got, expected)
+        assert ported.bit_generator.state == reference.bit_generator.state
+
+
+def test_multinomial_zeroes_stale_output_buffer():
+    """The output buffer is zeroed by the sampler itself (numpy
+    allocates fresh; the kernel reuses a scratch buffer)."""
+    pvals = np.array([0.5, 0.5])
+    stale = np.array([7, 7], dtype=np.int64)
+    rng = np.random.Generator(np.random.PCG64(3))
+    numba_rng.random_multinomial(rng, 4, pvals, stale)
+    assert stale.sum() == 4
+
+
+# ----------------------------------------------------------------------
+# The composed batch kernel (uncompiled) vs the numpy reference
+# ----------------------------------------------------------------------
+
+PROTOCOLS = {
+    "usd-k2": (UndecidedStateDynamics(k=2), np.array([10, 2000, 1800])),
+    "usd-k4": (
+        UndecidedStateDynamics(k=4),
+        np.array([0, 2000, 1500, 1000, 500]),
+    ),
+    "voter-k3": (VoterModel(k=3), np.array([2000, 1750, 1250])),
+    "four-state-majority": (
+        FourStateExactMajority(),
+        np.array([1500, 1000, 250, 250]),
+    ),
+}
+
+
+def _wrapped_scalar_batch():
+    return numba_backend._wrap_batch_step(numba_backend._batch_step_scalar)
+
+
+@pytest.mark.parametrize("name", sorted(PROTOCOLS))
+@pytest.mark.parametrize("seed", [0, 1, 7, 42, 1848])
+def test_scalar_batch_kernel_on_real_protocols(name, seed):
+    """Drive the uncompiled scalar batch kernel chunk-by-chunk against
+    the numpy reference on the real protocol grid: identical counts,
+    outcomes (including adaptive batch size and halvings) and final
+    bit-generator state."""
+    protocol, initial = PROTOCOLS[name]
+    n = int(initial.sum())
+    inputs = KernelInputs.from_table(protocol.table, n)
+    nominal = max(1, n // 100)
+    outcomes = []
+    for step_fn in (numpy_backend.batch_step, _wrapped_scalar_batch()):
+        counts = initial.copy()
+        rng = np.random.Generator(np.random.PCG64(seed))
+        batch = nominal
+        snapshots = []
+        interactions = 0
+        absorbed = False
+        target = 20 * n
+        while interactions < target and not absorbed:
+            num = min(3 * nominal, target - interactions)
+            result = step_fn(
+                inputs, counts, rng, num, interactions, batch, nominal
+            )
+            interactions, _, absorbed, batch, _ = result
+            snapshots.append((result, counts.tolist()))
+        outcomes.append((snapshots, rng.bit_generator.state))
+    assert outcomes[0][0] == outcomes[1][0], f"{name} seed {seed} diverged"
+    assert outcomes[0][1] == outcomes[1][1], (
+        f"{name} seed {seed}: random streams diverge"
+    )
+
+
+def test_scalar_batch_kernel_reproduces_rejection_halvings():
+    """The halving path (negativity rejection) must be compared, not
+    just the happy path: a near-absorbed USD run with an oversized
+    batch provokes halvings > 0 and both kernels must count the same."""
+    protocol = UndecidedStateDynamics(k=2)
+    initial = np.array([1, 40, 39])
+    inputs = KernelInputs.from_table(protocol.table, 80)
+    halving_totals = []
+    for step_fn in (numpy_backend.batch_step, _wrapped_scalar_batch()):
+        total_halvings = 0
+        for seed in range(12):
+            counts = initial.copy()
+            rng = np.random.Generator(np.random.PCG64(seed))
+            interactions, batch, absorbed = 0, 30, False
+            while interactions < 3000 and not absorbed:
+                num = min(250, 3000 - interactions)
+                interactions, _, absorbed, batch, halvings = step_fn(
+                    inputs, counts, rng, num, interactions, batch, 30
+                )
+                total_halvings += halvings
+        halving_totals.append(total_halvings)
+    assert halving_totals[0] == halving_totals[1]
+    assert halving_totals[0] > 0, (
+        "scenario no longer provokes rejection halvings — the halving "
+        "path is not being compared"
+    )
+
+
+def test_batch_self_check_passes_uncompiled():
+    """The numba backend's *algorithm*, run uncompiled, passes the same
+    batch self-check the compiled kernel must pass at load time — so
+    the ported samplers and the reject-halve-apply loop are verified
+    draw-for-draw even on machines without numba."""
+    assert numba_backend._batch_self_check(_wrapped_scalar_batch()) is None
+
+
+def test_batch_self_check_rejects_a_diverging_kernel():
+    """The self-check must actually detect divergence: a kernel that
+    consumes one extra uniform per call fails it."""
+
+    def skewed(inputs, counts, rng, num, start, batch, nominal_batch):
+        rng.random()  # desynchronise the stream
+        return numpy_backend.batch_step(
+            inputs, counts, rng, num, start, batch, nominal_batch
+        )
+
+    mismatch = numba_backend._batch_self_check(skewed)
+    assert mismatch is not None
+    assert "diverge" in mismatch
+
+
+def test_batch_self_check_scenarios_cover_sampler_branches():
+    """Guard the scenario set: the three regimes must keep exercising
+    inversion (tiny p·B), BTPE with the complement trick (dense voter,
+    p_effective > ½) and the halving path (small-usd)."""
+    scenarios = numba_backend._batch_self_check_scenarios()
+    assert len(scenarios) >= 3
+    regimes = set()
+    for inputs, initial, nominal, _target, _chunk in scenarios:
+        weights = initial[inputs.eff_a] * (initial[inputs.eff_b] - inputs.eff_same)
+        p_effective = min(1.0, float(weights.sum()) / inputs.pair_denominator)
+        if p_effective > 0.5:
+            regimes.add("complement")
+        if nominal * p_effective > 30.0:
+            regimes.add("btpe")
+        if nominal * p_effective <= 30.0:
+            regimes.add("inversion")
+    assert regimes == {"complement", "btpe", "inversion"}
+
+
+def test_load_reports_reason_without_numba():
+    """Without numba installed, load() must return an explicit reason
+    (the registry surfaces it) — and with numba installed it must
+    report per-kernel provenance with a genuinely JIT batch kernel."""
+    kernels, reason = numba_backend.load()
+    try:
+        import numba  # noqa: F401
+
+        have_numba = True
+    except ImportError:
+        have_numba = False
+    if not have_numba:
+        assert kernels is None
+        assert "numba" in reason
+    else:
+        assert reason is None
+        provenance = kernels["provenance"]
+        assert provenance["counts_step"] == "numba"
+        # the whole point of the batched-RNG port: no silent delegation
+        assert provenance["batch_step"] == "numba", (
+            f"batch kernel degraded to {provenance['batch_step']!r}"
+        )
