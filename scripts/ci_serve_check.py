@@ -1,0 +1,217 @@
+"""CI driver for the ``serve`` leg: the simulation service contracts.
+
+Boots a real ``repro serve`` daemon (spawned worker processes, the
+production mode) on an ephemeral port and holds it to the three
+promises the service makes:
+
+1. **Never compute the same answer twice.**  A seeded spec submitted
+   twice simulates once; the second submission is answered from the
+   content-addressed store, byte-identical to the first result, and
+   the ``/metrics`` endpoint shows exactly one miss and one hit.
+2. **Results survive the daemon.**  The store index is deleted and the
+   daemon restarted; the same submission is still answered ``cached``
+   with the same bytes (the index is rebuilt from the document files).
+3. **A killed simulation is legible, and never takes the daemon
+   down.**  A long-running job's worker process is SIGKILLed
+   mid-simulation; the job settles ``failed`` with a kill signature,
+   its journal holds an open ``engine.run`` span (the crash
+   signature), and the daemon keeps answering ``/healthz``.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.errors import ServeError  # noqa: E402 (path bootstrap above)
+from repro.obs.journal import (  # noqa: E402
+    JOURNAL_NAME,
+    read_journal,
+    summarize_journal,
+)
+from repro.serve import ServeClient  # noqa: E402
+
+#: Fast seeded spec — the cache-contract workload.
+FAST_SPEC = {
+    "schema_version": 1,
+    "kind": "run",
+    "protocol": {"name": "usd", "k": 3},
+    "initial": {"kind": "equal-minorities", "n": 3000, "params": {"bias": 200}},
+    "engine": "batch",
+    "seed": 2025,
+    "max_parallel_time": 400.0,
+    "stop_when_stable": True,
+}
+
+#: Deliberately long workload — alive long enough to be killed mid-run.
+SLOW_SPEC = {
+    "schema_version": 1,
+    "kind": "run",
+    "protocol": {"name": "voter", "k": 2},
+    "initial": {"kind": "equal-minorities", "n": 400_000, "params": {"bias": 1}},
+    "engine": "counts",
+    "seed": 7,
+    "max_parallel_time": 1_000_000.0,
+    "stop_when_stable": True,
+}
+
+
+def _start_daemon(root: Path):
+    """Launch ``repro serve`` on an ephemeral port; return (proc, client)."""
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--root",
+            str(root),
+            "--jobs",
+            "2",
+            "--progress-interval",
+            "0.2",
+        ],
+        cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        start_new_session=True,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"http://[\d.]+:(\d+)", line)
+    assert match, f"daemon did not announce a port: {line!r}"
+    port = int(match.group(1))
+    client = ServeClient(f"http://127.0.0.1:{port}")
+    deadline = time.monotonic() + 10.0
+    while True:
+        try:
+            client.health()
+            break
+        except ServeError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.1)
+    return proc, client
+
+
+def _stop_daemon(proc) -> None:
+    proc.send_signal(signal.SIGINT)
+    try:
+        proc.wait(timeout=10.0)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait(timeout=10.0)
+
+
+def check_cache_contract(client) -> bytes:
+    first = client.submit_and_wait(FAST_SPEC, timeout=120.0)
+    assert first["status"] == "accepted", first["status"]
+    spec_hash = first["spec_hash"]
+    first_bytes = client.result_bytes(spec_hash)
+
+    second = client.submit(FAST_SPEC)
+    assert second["status"] == "cached", second
+    second_bytes = client.result_bytes(spec_hash)
+    assert second_bytes == first_bytes, "cache hit must be byte-identical"
+
+    metrics = client.metrics_text()
+    assert "serve_cache_hits_total 1" in metrics, metrics
+    assert "serve_cache_misses_total 1" in metrics, metrics
+    assert 'serve_jobs_total{status="done"} 1' in metrics, metrics
+    print(
+        f"cache contract ok: 1 miss, 1 hit, bytes identical "
+        f"({len(first_bytes)} bytes, hash {spec_hash[:12]}...)"
+    )
+    return first_bytes
+
+
+def check_store_survives_restart(root: Path, reference: bytes) -> None:
+    index = root / "store" / "index.json"
+    assert index.is_file(), "store index must exist after a put"
+    index.unlink()
+    proc, client = _start_daemon(root)
+    try:
+        response = client.submit(FAST_SPEC)
+        assert response["status"] == "cached", (
+            f"rebuilt store must answer from cache, got {response['status']}"
+        )
+        again = client.result_bytes(response["spec_hash"])
+        assert again == reference, "rebuilt store must serve identical bytes"
+        print("store rebuild ok: index deleted, restart, still cached bytes")
+    finally:
+        _stop_daemon(proc)
+
+
+def check_kill_legibility(root: Path, client) -> None:
+    response = client.submit(SLOW_SPEC)
+    assert response["status"] == "accepted", response
+    job_id = response["job"]["id"]
+    journal_path = root / "jobs" / job_id / JOURNAL_NAME
+
+    # wait until the worker is demonstrably inside the engine
+    deadline = time.monotonic() + 60.0
+    pid = None
+    while time.monotonic() < deadline:
+        status = client.job(job_id)
+        pid = status.get("pid")
+        if pid is not None and journal_path.is_file():
+            records = read_journal(journal_path)
+            spans = summarize_journal(records).spans
+            if spans.get("engine.run") is not None:
+                break
+        time.sleep(0.1)
+    else:
+        raise AssertionError("worker never entered engine.run")
+
+    os.kill(pid, signal.SIGKILL)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        status = client.job(job_id)
+        if status["status"] == "failed":
+            break
+        time.sleep(0.1)
+    else:
+        raise AssertionError("killed job never settled as failed")
+    assert "killed" in (status["error"] or ""), status["error"]
+
+    summary = summarize_journal(read_journal(journal_path))
+    engine_span = summary.spans.get("engine.run")
+    assert engine_span is not None and engine_span.open > 0, (
+        "the crash signature is an engine.run span begun and never ended"
+    )
+    assert not summary.closed, "a SIGKILLed journal must not be cleanly closed"
+
+    health = client.health()
+    assert health["status"] == "ok", health
+    assert health["jobs"]["failed"] >= 1, health
+    print(
+        f"kill legibility ok: job failed ({status['error']}), journal "
+        f"holds an open engine.run span, daemon still healthy"
+    )
+
+
+def main() -> int:
+    root = Path(tempfile.mkdtemp(prefix="repro-serve-ci-"))
+    proc, client = _start_daemon(root)
+    try:
+        reference = check_cache_contract(client)
+        check_kill_legibility(root, client)
+    finally:
+        _stop_daemon(proc)
+    check_store_survives_restart(root, reference)
+    print("serve leg ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,6 +50,18 @@ Subcommands
     (``merged.json`` + ``provenance.json``) and print the report.
 ``repro sweep status <id> --out DIR [...]``
     Show which grid points are done, missing, and who computed them.
+``repro serve [--host H] [--port P] [--root DIR] [--runs DIR ...] [--jobs N] [--inline]``
+    Run the simulation-as-a-service daemon: accept spec documents over
+    HTTP, answer repeated submissions from a spec-hash result cache,
+    schedule the rest on a bounded pool of spawned worker processes.
+    ``--runs`` seeds the cache from persisted run directories;
+    ``--port 0`` picks an ephemeral port.
+``repro submit FILE --server URL [--set dotted.key=value ...] [--wait]``
+    Submit a scenario file to a running daemon; ``--wait`` blocks until
+    the result document is available (cached answers return instantly).
+``repro fetch TARGET --server URL``
+    Fetch a result document from a daemon by job id (``job-...``),
+    spec file path, or raw spec hash.
 
 Parameter overrides use ``--set name=value`` with values parsed as
 Python literals, e.g. ``--set n=200000 --set k_values=(8,16)``.  The
@@ -469,6 +481,128 @@ def build_parser() -> argparse.ArgumentParser:
                 help="print throttled engine progress heartbeats to stderr",
             )
 
+    serve = commands.add_parser(
+        "serve",
+        help=(
+            "run the simulation service daemon: HTTP spec submission, "
+            "spec-hash result cache, bounded worker pool"
+        ),
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1; 0.0.0.0 for containers)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="TCP port (default 8765; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--root",
+        type=Path,
+        default=Path("serve-data"),
+        metavar="DIR",
+        help=(
+            "service state directory: the result store lives in "
+            "DIR/store, job directories in DIR/jobs (default serve-data)"
+        ),
+    )
+    serve.add_argument(
+        "--runs",
+        type=Path,
+        action="append",
+        default=[],
+        metavar="DIR",
+        help=(
+            "seed the result cache from persisted run directories under "
+            "DIR (repeatable); their manifests carry the spec hash, so "
+            "plain --persist output becomes servable results"
+        ),
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="simulations in flight at once (default 2)",
+    )
+    serve.add_argument(
+        "--inline",
+        action="store_true",
+        help=(
+            "run jobs on daemon threads instead of spawned worker "
+            "processes (faster startup; a crashing simulation then takes "
+            "the daemon with it — meant for tests and demos)"
+        ),
+    )
+    serve.add_argument(
+        "--progress-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="heartbeat cadence in job journals (default 2.0)",
+    )
+
+    submit = commands.add_parser(
+        "submit",
+        help="submit a scenario file to a running 'repro serve' daemon",
+    )
+    submit.add_argument(
+        "spec_file", type=Path, help="a JSON scenario file (see --spec)"
+    )
+    submit.add_argument(
+        "--server",
+        default="http://127.0.0.1:8765",
+        metavar="URL",
+        help="daemon base URL (default http://127.0.0.1:8765)",
+    )
+    submit.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="apply a dotted override before submitting",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help=(
+            "block until the result document is available (cached "
+            "answers return instantly either way)"
+        ),
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="--wait deadline (default 600)",
+    )
+
+    fetch = commands.add_parser(
+        "fetch",
+        help=(
+            "fetch a result document from a daemon by job id, spec file, "
+            "or spec hash"
+        ),
+    )
+    fetch.add_argument(
+        "target",
+        help=(
+            "what to fetch: a job id ('job-...'), a scenario file path "
+            "(hashed locally), or a raw 64-hex spec hash"
+        ),
+    )
+    fetch.add_argument(
+        "--server",
+        default="http://127.0.0.1:8765",
+        metavar="URL",
+        help="daemon base URL (default http://127.0.0.1:8765)",
+    )
+
     certify = commands.add_parser(
         "certify",
         help="instantiate the Theorem 3.5 induction at concrete (n, k, bias)",
@@ -533,12 +667,23 @@ def _spec_with_cli_overrides(
     from .specs import apply_overrides, load_spec
 
     payload = spec_obj.to_dict()
-    prefix = {"run": "", "ensemble": "run.", "sweep": "base."}[payload["kind"]]
+    kind = payload["kind"]
+    prefix = {
+        "run": "",
+        "ensemble": "run.",
+        "sweep": "base.",
+        "experiment": "params.",
+    }[kind]
     implied: Dict[str, Any] = {}
     if backend is not None:
         implied[f"{prefix}backend"] = backend
     if persist is not None:
-        implied[f"{prefix}recording.persist_to"] = str(persist)
+        # experiments take a flat 'persist' parameter; the run-template
+        # kinds nest it under the recording block
+        key = "params.persist" if kind == "experiment" else (
+            f"{prefix}recording.persist_to"
+        )
+        implied[key] = str(persist)
     if fidelity is not None:
         implied[f"{prefix}fidelity"] = fidelity
     merged = {**implied, **overrides}
@@ -581,7 +726,13 @@ def _print_run_result(result: Any) -> None:
 
 def _run_spec_file(args: Any) -> None:
     from .io.tables import format_table
-    from .specs import EnsembleRun, SweepSpecRun, load_spec_file, run_spec
+    from .specs import (
+        EnsembleRun,
+        ExperimentSpecRun,
+        SweepSpecRun,
+        load_spec_file,
+        run_spec,
+    )
 
     spec_obj = load_spec_file(args.spec)
     spec_obj = _spec_with_cli_overrides(
@@ -598,7 +749,18 @@ def _run_spec_file(args: Any) -> None:
         out=args.out,
         resume=args.resume,
     )
-    if isinstance(result, EnsembleRun):
+    if isinstance(result, ExperimentSpecRun):
+        if result.result is not None:
+            print(render_result(result.result, plots=not args.no_plots))
+        else:
+            if result.rows:
+                print(
+                    format_table(list(result.rows), title=result.title)
+                )
+            for note in result.notes:
+                print(f"note: {note}")
+        print(f"spec hash        {result.spec_hash}")
+    elif isinstance(result, EnsembleRun):
         print(
             format_table(
                 list(result.rows), title=f"ensemble {result.spec_hash[:16]}"
@@ -982,6 +1144,75 @@ def _run_obs_command(args: Any) -> None:
         )
 
 
+def _run_serve_command(args: Any) -> None:
+    from .serve import ServeConfig, run_server
+
+    run_server(
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            root=args.root,
+            runs_roots=tuple(args.runs),
+            max_jobs=args.jobs,
+            job_mode="thread" if args.inline else "process",
+            progress_interval=args.progress_interval,
+        )
+    )
+
+
+def _run_submit_command(args: Any) -> None:
+    import json
+
+    from .serve import ServeClient
+    from .specs import load_spec_file
+
+    spec_obj = load_spec_file(args.spec_file)
+    spec_obj = _spec_with_cli_overrides(
+        spec_obj, parse_overrides(args.overrides), None, None
+    )
+    client = ServeClient(args.server)
+    payload = spec_obj.to_dict()
+    if args.wait:
+        response = client.submit_and_wait(payload, timeout=args.timeout)
+    else:
+        response = client.submit(payload)
+    print(json.dumps(response, indent=2, sort_keys=True))
+
+
+def _run_fetch_command(args: Any) -> None:
+    from .serve import ServeClient
+
+    client = ServeClient(args.server)
+    target = args.target
+    if target.startswith("job-"):
+        import json
+
+        from .errors import ServeError
+
+        status = client.job(target)
+        document = status.pop("result", None)
+        if document is None:
+            print(json.dumps(status, indent=2, sort_keys=True))
+            return
+        try:
+            # prefer the stored bytes verbatim (byte-identical across
+            # fetches); non-cacheable jobs only exist in the job dir
+            data = client.result_bytes(status["spec_hash"])
+            sys.stdout.write(data.decode("utf-8"))
+        except ServeError:
+            print(json.dumps(document, indent=2, sort_keys=True))
+        return
+    if Path(target).is_file():
+        from .specs import load_spec_file
+
+        spec_hash = load_spec_file(Path(target)).spec_hash()
+    else:
+        spec_hash = target
+    # the stored bytes verbatim — fetches of the same hash are
+    # byte-identical, comparable with plain ==
+    sys.stdout.write(client.result_bytes(spec_hash).decode("utf-8"))
+
+
 def _print_certificate(n: float, k: float, bias: Optional[float]) -> None:
     from .io.tables import format_table
     from .theory.certificate import certify_lower_bound
@@ -1115,6 +1346,12 @@ def _dispatch(args: Any) -> int:
         _run_trace_command(args)
     elif args.command == "obs":
         _run_obs_command(args)
+    elif args.command == "serve":
+        _run_serve_command(args)
+    elif args.command == "submit":
+        _run_submit_command(args)
+    elif args.command == "fetch":
+        _run_fetch_command(args)
     elif args.command == "certify":
         _print_certificate(args.n, args.k, args.bias)
     return 0

@@ -132,6 +132,18 @@ class RunResult:
             return None
         return self.stabilization_interactions / self.trace.n
 
+    def to_document(self, spec: Any = None) -> Dict[str, Any]:
+        """The unified result document of this run.
+
+        The versioned JSON shape shared by the in-process path and the
+        ``repro serve`` wire format — see
+        :func:`repro.specs.document.to_document`.  ``spec`` (optional)
+        embeds the producing :class:`~repro.specs.RunSpec`'s document.
+        """
+        from ..specs.document import to_document
+
+        return to_document(self, spec)
+
     def final_configuration(self) -> Configuration:
         """Opinion-level view of the final counts (USD-layout protocols)."""
         if self.trace.undecided_index != 0:

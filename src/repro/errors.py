@@ -92,6 +92,15 @@ class SerializationError(ReproError):
     """A trace or result file could not be written or parsed."""
 
 
+class ServeError(ReproError):
+    """The simulation service (``repro serve``) or its client failed.
+
+    Raised e.g. when the daemon cannot bind its address, a submitted
+    document is not a runnable spec, a job id is unknown, or the client
+    got a non-success HTTP status from the server.
+    """
+
+
 class SpecError(ReproError, ValueError):
     """A declarative run/ensemble/sweep spec is invalid or inconsistent.
 

@@ -42,6 +42,8 @@ __all__ = [
     "MANIFEST_NAME",
     "StreamedTrace",
     "chunk_filename",
+    "find_persisted_by_hash",
+    "iter_persisted_manifests",
     "load_chunk",
     "load_chunk_times",
     "load_manifest",
@@ -216,6 +218,84 @@ def persisted_run_matches(directory: PathLike, expect: Dict[str, Any]) -> bool:
         # malformed manifests (wrong types, hand-edits) are "no match",
         # never a crash — the caller's fallback is to re-simulate
         return False
+
+
+def _record_scan_skip(directory: Path, reason: str, on_skip) -> None:
+    """Record (never raise) one unreadable manifest during a scan."""
+    from ..obs import metrics as obs_metrics
+    from ..obs.runtime import emit as obs_emit
+
+    obs_metrics.REGISTRY.inc("persist_scan_skipped_total")
+    obs_emit("persist.scan_skip", path=str(directory), reason=reason)
+    if on_skip is not None:
+        on_skip(directory, reason)
+
+
+def iter_persisted_manifests(
+    root: PathLike, *, on_skip=None
+) -> Iterator[Tuple[Path, Dict[str, Any]]]:
+    """Yield ``(run_dir, manifest)`` for every streamed run under ``root``.
+
+    Walks ``root`` (which may itself be a run directory) breadth-first
+    with sorted children, so the scan order — and therefore which of
+    several equally matching runs a caller picks — is deterministic.
+
+    A directory whose manifest is corrupt, torn mid-write, or foreign
+    is *skipped with a recorded reason* instead of aborting the scan:
+    the ``persist_scan_skipped_total`` counter increments, a
+    ``persist.scan_skip`` journal event carries the path and reason,
+    and ``on_skip(directory, reason)`` is invoked when given.  A result
+    store rebuilding over thousands of run directories must report what
+    it could not read, not die on the first bad file.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return
+    pending: List[Path] = [root]
+    while pending:
+        directory = pending.pop(0)
+        try:
+            pending.extend(
+                sorted(child for child in directory.iterdir() if child.is_dir())
+            )
+        except OSError as exc:
+            _record_scan_skip(directory, f"unreadable directory: {exc}", on_skip)
+            continue
+        if not (directory / MANIFEST_NAME).is_file():
+            continue
+        try:
+            manifest = load_manifest(directory)
+        except SerializationError as exc:
+            _record_scan_skip(directory, str(exc), on_skip)
+            continue
+        if not isinstance(manifest.get("run_info", {}), dict):
+            _record_scan_skip(
+                directory, "manifest run_info is not an object", on_skip
+            )
+            continue
+        yield directory, manifest
+
+
+def find_persisted_by_hash(
+    root: PathLike, spec_hash: str, *, on_skip=None
+) -> Optional[Path]:
+    """First *complete* streamed run under ``root`` recording ``spec_hash``.
+
+    The shared answer to "has this exact run already been computed?":
+    the spec runner's persistence resume and the serve layer's result
+    store both look runs up through this helper, so they can never
+    disagree about what counts as a match.  Only manifests marked
+    complete and carrying a post-run summary qualify — a crashed or
+    in-flight stream never answers for a finished run.  Returns the run
+    directory, or ``None``; unreadable manifests are skipped with a
+    recorded reason (see :func:`iter_persisted_manifests`).
+    """
+    for directory, manifest in iter_persisted_manifests(root, on_skip=on_skip):
+        if not manifest.get("complete") or manifest.get("summary") is None:
+            continue
+        if manifest.get("run_info", {}).get("spec_hash") == spec_hash:
+            return directory
+    return None
 
 
 def _discover_chunks(directory: Path) -> List[Path]:

@@ -1,0 +1,37 @@
+"""Simulation-as-a-service: the ``repro serve`` daemon and its client.
+
+The paper's Ω(n log n) lower bound makes exact answers at large n
+intrinsically expensive, so the same answer should never be computed
+twice.  This package is that policy as a long-running service: specs
+come in over HTTP, are validated by the :mod:`repro.specs` layer,
+keyed by ``spec_hash``, answered from a content-addressed
+:class:`~repro.serve.store.ResultStore` when the identical work was
+ever done before, and otherwise scheduled on a bounded job pool whose
+workers run in spawned processes (a killed simulation never takes the
+daemon down — its job journal records the crash signature instead).
+
+Everything is standard library: ``http.server`` on the daemon side,
+``urllib`` in the client.
+
+>>> from repro.serve import ServeConfig, make_server, ServeClient
+>>> httpd = make_server(ServeConfig(port=0, root="serve-data"))  # doctest: +SKIP
+"""
+
+from .client import ServeClient
+from .jobs import Job, JobManager
+from .server import ServeApp, ServeConfig, make_server, run_server, shutdown_server
+from .store import ResultStore
+from .worker import execute_job
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "ResultStore",
+    "ServeApp",
+    "ServeClient",
+    "ServeConfig",
+    "execute_job",
+    "make_server",
+    "run_server",
+    "shutdown_server",
+]

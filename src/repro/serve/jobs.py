@@ -1,0 +1,275 @@
+"""Job scheduling for the simulation service.
+
+A :class:`JobManager` owns a bounded pool of concurrently running jobs.
+Each job gets a directory under ``<root>/jobs/<id>`` (spec, journal,
+result, error — everything the status and progress endpoints serve) and
+runs either in a spawned child process (``mode='process'``, the daemon
+default: a crashed or killed simulation never takes the server down,
+and the kill signature lands in the job journal) or inline on the
+scheduler thread (``mode='thread'``, for tests and the in-process demo).
+
+Duplicate submissions coalesce: while a job for some ``spec_hash`` is
+queued or running, submitting the same hash returns that job instead of
+scheduling a second simulation — combined with the result store this
+closes the "never compute the same answer twice" loop end to end.
+
+The spawn start method is deliberate: the daemon's HTTP handler threads
+may hold locks (the metrics registry, the store) at any moment, and a
+``fork`` child would inherit those locks mid-flight.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from ..errors import ReproError, ServeError
+from ..obs import metrics as obs_metrics
+from ..obs.runtime import emit as obs_emit
+from . import worker
+
+__all__ = ["Job", "JobManager"]
+
+#: Job lifecycle states, in order.
+STATUSES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class Job:
+    """One scheduled spec execution and its lifecycle."""
+
+    id: str
+    spec_hash: str
+    kind: str
+    cacheable: bool
+    dir: Path
+    status: str = "queued"
+    error: Optional[str] = None
+    created: float = field(default_factory=time.time)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    pid: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The wire form the status endpoint serves."""
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "spec_hash": self.spec_hash,
+            "kind": self.kind,
+            "cacheable": self.cacheable,
+            "status": self.status,
+            "error": self.error,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "pid": self.pid,
+        }
+        if self.status == "done":
+            payload["result_url"] = f"/results/{self.spec_hash}"
+        return payload
+
+
+class JobManager:
+    """Bounded concurrent execution of submitted specs, with coalescing."""
+
+    def __init__(
+        self,
+        store: Any,
+        root: Union[str, Path],
+        *,
+        max_workers: int = 2,
+        mode: str = "process",
+        progress_interval: float = 2.0,
+    ) -> None:
+        if mode not in ("process", "thread"):
+            raise ServeError(
+                f"job mode must be 'process' or 'thread', got {mode!r}"
+            )
+        if max_workers < 1:
+            raise ServeError(
+                f"max_workers must be at least 1, got {max_workers}"
+            )
+        self.store = store
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.mode = mode
+        self.progress_interval = float(progress_interval)
+        self._slots = threading.BoundedSemaphore(max_workers)
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._by_hash: Dict[str, str] = {}  # active job per spec_hash
+        self._counter = itertools.count(1)
+        self._threads: Dict[str, threading.Thread] = {}
+        self._processes: Dict[str, Any] = {}
+        self._closed = False
+
+    # -- submission ----------------------------------------------------
+
+    def submit(
+        self,
+        payload: Mapping[str, Any],
+        *,
+        spec_hash: str,
+        kind: str,
+        cacheable: bool,
+    ) -> Tuple[Job, bool]:
+        """Schedule a validated spec document.
+
+        Returns ``(job, coalesced)`` — ``coalesced`` is true when an
+        active job for the same ``spec_hash`` absorbed this submission.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServeError("the job manager is shutting down")
+            if cacheable:
+                active_id = self._by_hash.get(spec_hash)
+                if active_id is not None:
+                    obs_metrics.REGISTRY.inc("serve_jobs_coalesced_total")
+                    return self._jobs[active_id], True
+            job_id = f"job-{next(self._counter):06d}-{spec_hash[:12]}"
+            job = Job(
+                id=job_id,
+                spec_hash=spec_hash,
+                kind=kind,
+                cacheable=cacheable,
+                dir=self.jobs_dir / job_id,
+            )
+            self._jobs[job_id] = job
+            if cacheable:
+                self._by_hash[spec_hash] = job_id
+        job.dir.mkdir(parents=True, exist_ok=True)
+        (job.dir / worker.SPEC_NAME).write_bytes(
+            (json.dumps(dict(payload), sort_keys=True, indent=1) + "\n").encode(
+                "utf-8"
+            )
+        )
+        obs_emit("serve.job_submitted", job=job.id, spec_hash=spec_hash)
+        thread = threading.Thread(
+            target=self._run_job,
+            args=(job, dict(payload)),
+            name=f"serve-{job.id}",
+            daemon=True,
+        )
+        with self._lock:
+            self._threads[job.id] = thread
+        thread.start()
+        return job, False
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def counts(self) -> Dict[str, int]:
+        """How many jobs sit in each lifecycle state."""
+        with self._lock:
+            counts = dict.fromkeys(STATUSES, 0)
+            for job in self._jobs.values():
+                counts[job.status] = counts.get(job.status, 0) + 1
+        return counts
+
+    # -- execution -----------------------------------------------------
+
+    def _run_job(self, job: Job, payload: Dict[str, Any]) -> None:
+        with self._slots:
+            job.status = "running"
+            job.started = time.time()
+            try:
+                if self.mode == "process":
+                    self._run_in_process(job, payload)
+                else:
+                    self._run_in_thread(job, payload)
+            except BaseException as exc:  # noqa: BLE001 — job must settle
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.status = "failed"
+            finally:
+                job.finished = time.time()
+                with self._lock:
+                    if self._by_hash.get(job.spec_hash) == job.id:
+                        del self._by_hash[job.spec_hash]
+                    self._threads.pop(job.id, None)
+                    self._processes.pop(job.id, None)
+                obs_metrics.REGISTRY.inc(
+                    "serve_jobs_total", status=job.status
+                )
+                obs_emit(
+                    "serve.job_finished", job=job.id, status=job.status
+                )
+
+    def _run_in_thread(self, job: Job, payload: Dict[str, Any]) -> None:
+        try:
+            document = worker.execute_job(
+                payload, job.dir, progress_interval=self.progress_interval
+            )
+        except ReproError as exc:
+            job.error = str(exc)
+            job.status = "failed"
+            return
+        self._finish(job, document)
+
+    def _run_in_process(self, job: Job, payload: Dict[str, Any]) -> None:
+        context = multiprocessing.get_context("spawn")
+        process = context.Process(
+            target=worker._job_entry,
+            args=(payload, str(job.dir), self.progress_interval),
+            daemon=True,
+        )
+        process.start()
+        job.pid = process.pid
+        with self._lock:
+            self._processes[job.id] = process
+        process.join()
+        result_path = job.dir / worker.RESULT_NAME
+        if process.exitcode == 0 and result_path.is_file():
+            document = json.loads(result_path.read_text(encoding="utf-8"))
+            # the child's counters (interactions stepped, kernel time)
+            # fold into the daemon registry, exactly like pool workers
+            metrics_path = job.dir / worker.METRICS_NAME
+            try:
+                obs_metrics.REGISTRY.merge_snapshot(
+                    json.loads(metrics_path.read_text(encoding="utf-8"))
+                )
+            except (OSError, ValueError):
+                pass  # metrics are best-effort provenance, never fatal
+            self._finish(job, document)
+            return
+        job.status = "failed"
+        job.error = self._read_error(job) or (
+            f"worker exited with code {process.exitcode}"
+            + (" (killed)" if (process.exitcode or 0) < 0 else "")
+        )
+
+    def _read_error(self, job: Job) -> Optional[str]:
+        try:
+            payload = json.loads(
+                (job.dir / worker.ERROR_NAME).read_text(encoding="utf-8")
+            )
+            return f"{payload.get('error')}: {payload.get('message')}"
+        except (OSError, ValueError):
+            return None
+
+    def _finish(self, job: Job, document: Dict[str, Any]) -> None:
+        if job.cacheable:
+            self.store.put(job.spec_hash, document)
+        job.status = "done"
+
+    # -- shutdown ------------------------------------------------------
+
+    def shutdown(self, *, timeout: float = 5.0) -> None:
+        """Stop accepting jobs and terminate what is still running."""
+        with self._lock:
+            self._closed = True
+            processes = list(self._processes.values())
+            threads = list(self._threads.values())
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        deadline = time.time() + timeout
+        for thread in threads:
+            thread.join(max(0.0, deadline - time.time()))

@@ -32,7 +32,14 @@ True
 """
 
 from ..obs.config import ObsConfig
+from .document import (
+    document_bytes,
+    document_from_persisted_run,
+    result_from_document,
+    to_document,
+)
 from .ensemble import EnsembleSpec
+from .experiment import ExperimentSpec
 from .hashing import canonical_json, canonicalize, content_hash
 from .merge import apply_overrides, merge_params
 from .model import (
@@ -45,6 +52,7 @@ from .model import (
 )
 from .runner import (
     EnsembleRun,
+    ExperimentSpecRun,
     SweepSpecRun,
     load_spec,
     load_spec_file,
@@ -64,18 +72,24 @@ __all__ = [
     "RecordingSpec",
     "RunSpec",
     "EnsembleSpec",
+    "ExperimentSpec",
     "SweepSpec",
     "EnsembleRun",
+    "ExperimentSpecRun",
     "SweepSpecRun",
     "apply_overrides",
     "canonical_json",
     "canonicalize",
     "content_hash",
+    "document_bytes",
+    "document_from_persisted_run",
     "load_spec",
     "load_spec_file",
     "merge_params",
     "normalize_run",
     "register_fidelity_resolver",
+    "result_from_document",
     "run_spec",
     "summary_row",
+    "to_document",
 ]

@@ -28,11 +28,13 @@ from ..errors import ReproError, SpecError
 # the same point can never slugify differently
 from ..sweep.plan import _SLUG_UNSAFE
 from .ensemble import EnsembleSpec
+from .experiment import ExperimentSpec
 from .model import RunSpec
 from .sweep import SweepSpec
 
 __all__ = [
     "EnsembleRun",
+    "ExperimentSpecRun",
     "SweepSpecRun",
     "load_spec",
     "load_spec_file",
@@ -42,12 +44,13 @@ __all__ = [
     "summary_row",
 ]
 
-AnySpec = Union[RunSpec, EnsembleSpec, SweepSpec]
+AnySpec = Union[RunSpec, EnsembleSpec, SweepSpec, ExperimentSpec]
 
 _KINDS = {
     "run": RunSpec,
     "ensemble": EnsembleSpec,
     "sweep": SweepSpec,
+    "experiment": ExperimentSpec,
 }
 
 
@@ -204,6 +207,27 @@ class SweepSpecRun:
     escalated: Tuple[str, ...] = ()
 
 
+@dataclass(frozen=True)
+class ExperimentSpecRun:
+    """Everything one :class:`ExperimentSpec` execution produced.
+
+    ``series`` carries the *names* of the plotted series (the arrays
+    themselves live on ``result``, which is ``None`` when the run was
+    rebuilt from a wire document — arrays are not part of the portable
+    result-document schema, rows and notes are).
+    """
+
+    spec_hash: str
+    experiment_id: str
+    title: str
+    rows: Tuple[Dict[str, Any], ...]
+    notes: Tuple[str, ...]
+    params: Dict[str, Any]
+    wall_seconds: float
+    series: Tuple[str, ...] = ()
+    result: Any = None
+
+
 def run_spec(
     spec: AnySpec,
     *,
@@ -223,6 +247,11 @@ def run_spec(
       the sharded sweep executor with per-point checkpoints under
       ``out``, honouring ``shard``/``resume``/``workers`` exactly like
       ``repro sweep run``.
+    * :class:`ExperimentSpec` → an :class:`ExperimentSpecRun`; the
+      named registry experiment runs with the spec's params, and the
+      call-site ``workers``/``shard``/``out``/``resume`` knobs thread
+      through as the experiment's global parameters (placement choices,
+      not experiment identity — they never affect the spec hash).
     """
     if isinstance(spec, RunSpec):
         if shard is not None or out is not None or resume:
@@ -247,9 +276,56 @@ def run_spec(
         return _run_sweep(
             spec, workers=workers, shard=shard, out=out, resume=resume
         )
+    if isinstance(spec, ExperimentSpec):
+        return _run_experiment(
+            spec, workers=workers, shard=shard, out=out, resume=resume
+        )
     raise SpecError(
-        f"run_spec expects a RunSpec/EnsembleSpec/SweepSpec, got "
-        f"{type(spec).__name__}"
+        f"run_spec expects a RunSpec/EnsembleSpec/SweepSpec/"
+        f"ExperimentSpec, got {type(spec).__name__}"
+    )
+
+
+def _run_experiment(
+    spec: ExperimentSpec,
+    *,
+    workers: Optional[int] = 0,
+    shard: Any = None,
+    out: Union[None, str, Path] = None,
+    resume: bool = False,
+) -> ExperimentSpecRun:
+    from ..experiments import run_experiment
+    from ..obs.runtime import emit as obs_emit
+
+    overrides: Dict[str, Any] = dict(spec.params)
+    # call-site knobs win over spec params: they place the work on this
+    # machine (pool size, shard, checkpoint dir), they are not part of
+    # what the experiment computes
+    if workers not in (0, None):
+        overrides["workers"] = workers
+    if shard is not None:
+        overrides["shard"] = shard
+    if out is not None:
+        overrides["out"] = str(out)
+    if resume:
+        overrides["resume"] = True
+    obs_emit(
+        "experiment.start", spec_hash=spec.spec_hash(), experiment=spec.name
+    )
+    result = run_experiment(spec.name, **overrides)
+    obs_emit(
+        "experiment.done", spec_hash=spec.spec_hash(), experiment=spec.name
+    )
+    return ExperimentSpecRun(
+        spec_hash=spec.spec_hash(),
+        experiment_id=result.experiment_id,
+        title=result.title,
+        rows=tuple(dict(row) for row in result.rows),
+        notes=tuple(result.notes),
+        params=dict(result.params),
+        wall_seconds=float(result.wall_seconds),
+        series=tuple(sorted(result.series)),
+        result=result,
     )
 
 
@@ -266,8 +342,8 @@ def _resume_persisted(spec: RunSpec):
     Returns ``None`` when there is nothing resumable (then the caller
     simulates and overwrites).
     """
-    run_dir = spec.recording.persist_to
-    if run_dir is None or spec.protocol.model == "gossip":
+    persist_root = spec.recording.persist_to
+    if persist_root is None or spec.protocol.model == "gossip":
         return None
     if spec.seed is None:
         # an unseeded run draws fresh OS entropy every time: two
@@ -275,9 +351,14 @@ def _resume_persisted(spec: RunSpec):
         # stream must never answer for a new one
         return None
     from ..errors import SerializationError
-    from ..io.streaming import StreamedTrace, persisted_run_matches
+    from ..io.streaming import StreamedTrace, find_persisted_by_hash
 
-    if not persisted_run_matches(run_dir, {"spec_hash": spec.spec_hash()}):
+    # the persist target itself answers when it holds the matching
+    # stream; otherwise any complete run *under* it does (an ensemble
+    # root full of member directories, a service's shared runs dir) —
+    # the scan skips unreadable manifests with a recorded reason
+    run_dir = find_persisted_by_hash(persist_root, spec.spec_hash())
+    if run_dir is None:
         return None
     try:
         from ..core.run import RunResult

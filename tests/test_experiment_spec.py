@@ -1,0 +1,134 @@
+"""``ExperimentSpec``: registry experiments as first-class spec documents.
+
+The contract: an experiment invocation gets the same declarative
+identity as runs/ensembles/sweeps — a canonical ``spec_hash`` over its
+*physics* parameters (placement knobs like ``workers``/``backend``
+never enter), exact ``to_dict``/``from_dict`` round-trips, dispatch
+through ``run_spec`` / ``load_spec``, and the CLI ``--spec`` path.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SpecError
+from repro.specs import (
+    SCHEMA_VERSION,
+    ExperimentSpec,
+    ExperimentSpecRun,
+    load_spec,
+    run_spec,
+)
+
+SMALL = {"n": 1500, "max_parallel_time": 200.0}
+
+
+def test_requires_registered_experiment():
+    with pytest.raises(SpecError, match="unknown experiment"):
+        ExperimentSpec(name="no-such-experiment")
+
+
+def test_rejects_unknown_parameters():
+    with pytest.raises(SpecError):
+        ExperimentSpec(name="fig1-left", params={"not_a_param": 1})
+
+
+def test_rejects_empty_name():
+    with pytest.raises(SpecError):
+        ExperimentSpec(name="")
+
+
+def test_hash_ignores_placement_knobs():
+    plain = ExperimentSpec(name="fig1-left", params=SMALL)
+    placed = ExperimentSpec(
+        name="fig1-left", params={**SMALL, "workers": 4, "backend": "numpy"}
+    )
+    assert plain.spec_hash() == placed.spec_hash()
+
+
+def test_hash_matches_spelled_out_defaults():
+    implicit = ExperimentSpec(name="fig1-left", params=SMALL)
+    explicit = ExperimentSpec(
+        name="fig1-left", params={**SMALL, "seed": 2027, "engine": "batch"}
+    )
+    assert implicit.spec_hash() == explicit.spec_hash()
+
+
+def test_hash_sensitive_to_physics():
+    base = ExperimentSpec(name="fig1-left", params=SMALL)
+    other = ExperimentSpec(name="fig1-left", params={**SMALL, "n": 1501})
+    assert base.spec_hash() != other.spec_hash()
+    assert base.spec_hash() != ExperimentSpec(name="fig1-right").spec_hash()
+
+
+def test_metadata_never_enters_the_hash():
+    base = ExperimentSpec(name="fig1-left", params=SMALL)
+    tagged = ExperimentSpec(
+        name="fig1-left", params=SMALL, metadata={"campaign": "x"}
+    )
+    assert base.spec_hash() == tagged.spec_hash()
+
+
+def test_dict_round_trip_exact():
+    spec = ExperimentSpec(
+        name="fig1-left", params=SMALL, metadata={"note": "round trip"}
+    )
+    payload = spec.to_dict()
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert payload["kind"] == "experiment"
+    rebuilt = ExperimentSpec.from_dict(json.loads(json.dumps(payload)))
+    assert rebuilt == spec
+    assert rebuilt.spec_hash() == spec.spec_hash()
+
+
+def test_from_dict_rejects_unknown_keys():
+    payload = ExperimentSpec(name="fig1-left").to_dict()
+    payload["extra"] = 1
+    with pytest.raises(SpecError, match="unknown"):
+        ExperimentSpec.from_dict(payload)
+
+
+def test_load_spec_dispatches_experiment_kind():
+    payload = ExperimentSpec(name="fig1-left", params=SMALL).to_dict()
+    spec = load_spec(payload)
+    assert isinstance(spec, ExperimentSpec)
+    assert spec.name == "fig1-left"
+
+
+def test_run_spec_executes_experiment():
+    spec = ExperimentSpec(name="fig1-left", params=SMALL)
+    result = run_spec(spec)
+    assert isinstance(result, ExperimentSpecRun)
+    assert result.spec_hash == spec.spec_hash()
+    assert result.experiment_id == "fig1-left"
+    assert len(result.rows) == 1
+    assert result.rows[0]["n"] == SMALL["n"]
+    assert result.result is not None
+    assert result.wall_seconds >= 0.0
+
+
+def test_cli_runs_experiment_scenario(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "exp.json"
+    path.write_text(
+        json.dumps(ExperimentSpec(name="fig1-left", params=SMALL).to_dict())
+    )
+    assert (
+        main(
+            [
+                "run",
+                "--spec",
+                str(path),
+                "--set",
+                "params.n=1000",
+                "--no-plots",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "spec hash" in out
+    assert "1000" in out

@@ -1,0 +1,174 @@
+"""The unified result-document schema: one wire shape for every result.
+
+The contract under test: ``to_document`` renders any result kind into
+a canonical, versioned JSON document; ``result_from_document`` inverts
+it so that re-rendering reproduces the document *bit for bit*
+(``document_bytes`` equality — the same identity the serve layer's
+cache-hit guarantee rests on); and ``document_from_persisted_run``
+builds the identical document from a persisted run directory alone.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SpecError
+from repro.specs import (
+    EnsembleSpec,
+    ExperimentSpec,
+    RunSpec,
+    document_bytes,
+    document_from_persisted_run,
+    result_from_document,
+    run_spec,
+    to_document,
+)
+
+SPEC_PAYLOAD = {
+    "schema_version": 1,
+    "kind": "run",
+    "protocol": {"name": "usd", "k": 3},
+    "initial": {"kind": "equal-minorities", "n": 2000, "params": {"bias": 150}},
+    "engine": "batch",
+    "seed": 424,
+    "max_parallel_time": 300.0,
+    "stop_when_stable": True,
+}
+
+
+@pytest.fixture(scope="module")
+def run_and_spec():
+    spec = RunSpec.from_dict(SPEC_PAYLOAD)
+    return run_spec(spec), spec
+
+
+def test_run_document_shape(run_and_spec):
+    result, spec = run_and_spec
+    document = to_document(result, spec)
+    assert document["kind"] == "result"
+    assert document["result_kind"] == "run"
+    assert document["spec_hash"] == spec.spec_hash()
+    assert document["spec"] == spec.to_dict()
+    outcome = document["outcome"]
+    assert outcome["stabilized"] == result.stabilized
+    assert outcome["winner"] == result.winner
+    assert outcome["interactions"] == result.interactions
+    # the summary block is exactly the tabular summary_row vocabulary
+    assert set(document["summary"]) == {
+        "stabilized",
+        "winner",
+        "interactions",
+        "parallel_time",
+        "stabilization_parallel_time",
+    }
+
+
+def test_run_document_round_trips_bit_for_bit(run_and_spec):
+    result, spec = run_and_spec
+    document = to_document(result, spec)
+    rebuilt = result_from_document(json.loads(json.dumps(document)))
+    assert document_bytes(to_document(rebuilt, spec)) == document_bytes(document)
+    assert rebuilt.winner == result.winner
+    assert rebuilt.interactions == result.interactions
+    assert list(rebuilt.final_counts) == list(result.final_counts)
+
+
+def test_result_method_agrees_with_module_function(run_and_spec):
+    result, spec = run_and_spec
+    assert result.to_document(spec) == to_document(result, spec)
+
+
+def test_document_without_spec_has_null_spec(run_and_spec):
+    result, _spec = run_and_spec
+    document = to_document(result)
+    assert document["spec"] is None
+    rebuilt = result_from_document(document)
+    assert document_bytes(to_document(rebuilt)) == document_bytes(document)
+
+
+def test_spec_hash_mismatch_is_rejected(run_and_spec):
+    result, _spec = run_and_spec
+    other = RunSpec.from_dict({**SPEC_PAYLOAD, "seed": 99})
+    with pytest.raises(SpecError, match="hash"):
+        to_document(result, other)
+
+
+def test_obs_metrics_hoisted_to_top_level(run_and_spec):
+    result, spec = run_and_spec
+    result.metadata["obs_metrics"] = {"counters": {"x_total": 3.0}}
+    try:
+        document = to_document(result, spec)
+        assert document["obs_metrics"] == {"counters": {"x_total": 3.0}}
+        assert "obs_metrics" not in document["metadata"]
+        rebuilt = result_from_document(document)
+        assert rebuilt.metadata["obs_metrics"] == {"counters": {"x_total": 3.0}}
+        assert document_bytes(to_document(rebuilt, spec)) == document_bytes(
+            document
+        )
+    finally:
+        del result.metadata["obs_metrics"]
+
+
+def test_ensemble_document_round_trips():
+    spec = EnsembleSpec.from_dict(
+        {
+            "schema_version": 1,
+            "kind": "ensemble",
+            "run": {**SPEC_PAYLOAD, "seed": None},
+            "num_runs": 3,
+            "root_seed": 11,
+        }
+    )
+    document = to_document(run_spec(spec), spec)
+    assert document["result_kind"] == "ensemble"
+    assert document["summary"]["members"] == 3
+    rebuilt = result_from_document(document)
+    assert document_bytes(to_document(rebuilt, spec)) == document_bytes(document)
+
+
+def test_experiment_document_round_trips():
+    spec = ExperimentSpec(
+        name="fig1-left", params={"n": 1500, "max_parallel_time": 200.0}
+    )
+    document = to_document(run_spec(spec), spec)
+    assert document["result_kind"] == "experiment"
+    assert document["outcome"]["experiment_id"] == "fig1-left"
+    rebuilt = result_from_document(document)
+    assert document_bytes(to_document(rebuilt, spec)) == document_bytes(document)
+
+
+def test_rejects_foreign_documents(run_and_spec):
+    result, spec = run_and_spec
+    document = to_document(result, spec)
+    with pytest.raises(SpecError):
+        result_from_document({**document, "kind": "not-a-result"})
+    with pytest.raises(SpecError):
+        result_from_document({**document, "result_kind": "mystery"})
+    with pytest.raises(SpecError):
+        result_from_document({**document, "schema_version": 999})
+
+
+def test_persisted_run_yields_identical_document(tmp_path):
+    spec = RunSpec.from_dict(
+        {
+            **SPEC_PAYLOAD,
+            "recording": {"persist_to": str(tmp_path / "runs")},
+        }
+    )
+    result = run_spec(spec)
+    assert result.persist_dir is not None
+    live = to_document(result, spec)
+    from_disk = document_from_persisted_run(result.persist_dir)
+    assert from_disk is not None
+    # modulo the persist_dir pointer (the live result carries it, the
+    # disk document *is* it), the two renderings agree byte for byte
+    assert document_bytes(from_disk) == document_bytes(live)
+
+
+def test_persisted_scan_skips_incomplete(tmp_path):
+    run_dir = tmp_path / "torn"
+    run_dir.mkdir()
+    (run_dir / "manifest.json").write_text("{not json")
+    assert document_from_persisted_run(run_dir) is None

@@ -1,0 +1,325 @@
+"""The simulation service: store, job manager, daemon, client.
+
+The contracts under test, layer by layer:
+
+* ``ResultStore`` — content-addressed byte identity, refusal of
+  mis-keyed documents, index rebuild from the documents directory and
+  from plain persisted run directories (skipping unseeded runs, whose
+  outcomes must never answer for a fresh random draw), corrupt-entry
+  skips with recorded reasons;
+* ``JobManager`` — duplicate submissions of an active ``spec_hash``
+  coalesce onto one job instead of simulating twice;
+* the HTTP daemon end to end — submit/miss/hit, byte-identical result
+  fetches, live ``/metrics``, job status and journal progress, 400 on
+  invalid specs, 404 on unknown routes; plus a spawned-process-mode
+  smoke test (the production configuration).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ServeError
+from repro.io.streaming import find_persisted_by_hash
+from repro.serve import (
+    JobManager,
+    ResultStore,
+    ServeClient,
+    ServeConfig,
+    make_server,
+    shutdown_server,
+)
+from repro.specs import RunSpec, run_spec, to_document
+
+FAST_PAYLOAD = {
+    "schema_version": 1,
+    "kind": "run",
+    "protocol": {"name": "usd", "k": 3},
+    "initial": {"kind": "equal-minorities", "n": 2000, "params": {"bias": 150}},
+    "engine": "batch",
+    "seed": 31,
+    "max_parallel_time": 300.0,
+    "stop_when_stable": True,
+}
+
+
+def fast_document():
+    spec = RunSpec.from_dict(FAST_PAYLOAD)
+    return spec.spec_hash(), to_document(run_spec(spec), spec)
+
+
+# ---------------------------------------------------------------- store
+
+
+class TestResultStore:
+    def test_put_get_byte_identity(self, tmp_path):
+        spec_hash, document = fast_document()
+        store = ResultStore(tmp_path / "store")
+        store.put(spec_hash, document)
+        first = store.get_bytes(spec_hash)
+        assert first == store.get_bytes(spec_hash)
+        assert store.get(spec_hash) == document
+        assert spec_hash in store and len(store) == 1
+
+    def test_put_rejects_non_hash_keys(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        with pytest.raises(ServeError, match="non-hash"):
+            store.put("../escape", {"spec_hash": "../escape"})
+
+    def test_put_rejects_mismatched_document(self, tmp_path):
+        spec_hash, document = fast_document()
+        store = ResultStore(tmp_path / "store")
+        with pytest.raises(ServeError, match="cannot store"):
+            store.put("f" * 64, document)
+
+    def test_rebuild_after_index_delete(self, tmp_path):
+        spec_hash, document = fast_document()
+        root = tmp_path / "store"
+        first = ResultStore(root)
+        first.put(spec_hash, document)
+        reference = first.get_bytes(spec_hash)
+        (root / "index.json").unlink()
+        # a fresh store (daemon restart) rebuilds the index from the
+        # document files and serves the identical bytes
+        rebuilt = ResultStore(root)
+        assert spec_hash in rebuilt
+        assert rebuilt.get_bytes(spec_hash) == reference
+
+    def test_rebuild_from_persisted_runs(self, tmp_path):
+        runs_root = tmp_path / "runs"
+        spec = RunSpec.from_dict(
+            {**FAST_PAYLOAD, "recording": {"persist_to": str(runs_root)}}
+        )
+        result = run_spec(spec)
+        store = ResultStore(tmp_path / "store", runs_roots=[runs_root])
+        assert spec.spec_hash() in store
+        stored = store.get(spec.spec_hash())
+        assert stored["outcome"]["winner"] == result.winner
+
+    def test_rebuild_skips_unseeded_runs(self, tmp_path):
+        runs_root = tmp_path / "runs"
+        spec = RunSpec.from_dict(
+            {
+                **FAST_PAYLOAD,
+                "seed": None,
+                "recording": {"persist_to": str(runs_root)},
+            }
+        )
+        run_spec(spec)
+        store = ResultStore(tmp_path / "store", runs_roots=[runs_root])
+        # an unseeded run is a fresh draw every time; its recorded
+        # outcome must never be served as the answer to a new submission
+        assert len(store) == 0
+
+    def test_rebuild_records_skip_reasons(self, tmp_path):
+        runs_root = tmp_path / "runs"
+        bad = runs_root / "corrupt"
+        bad.mkdir(parents=True)
+        (bad / "manifest.json").write_text("{torn")
+        store = ResultStore(tmp_path / "store", runs_roots=[runs_root])
+        assert any("corrupt" in path for path, _reason in store.skipped)
+
+
+def test_find_persisted_by_hash_skips_corrupt_with_reason(tmp_path):
+    runs_root = tmp_path / "runs"
+    spec = RunSpec.from_dict(
+        {**FAST_PAYLOAD, "recording": {"persist_to": str(runs_root / "real")}}
+    )
+    result = run_spec(spec)
+    bad = runs_root / "aaa-corrupt"  # sorts before the valid run dir
+    bad.mkdir()
+    (bad / "manifest.json").write_text("{torn")
+    skips = []
+    found = find_persisted_by_hash(
+        runs_root, spec.spec_hash(), on_skip=lambda p, r: skips.append((p, r))
+    )
+    assert found is not None
+    assert str(found) == str(result.persist_dir)
+    assert any("aaa-corrupt" in str(path) for path, _reason in skips)
+
+
+# ------------------------------------------------------------- coalescing
+
+
+def test_concurrent_duplicate_submissions_coalesce(tmp_path, monkeypatch):
+    from repro.serve import worker
+
+    release = threading.Event()
+    spec_hash = "ab" * 32
+
+    def slow_execute(payload, job_dir, *, progress_interval=2.0):
+        release.wait(timeout=30.0)
+        return {"spec_hash": spec_hash, "kind": "result"}
+
+    monkeypatch.setattr(worker, "execute_job", slow_execute)
+    store = ResultStore(tmp_path / "store")
+    jobs = JobManager(store, tmp_path, max_workers=2, mode="thread")
+    try:
+        first, coalesced_first = jobs.submit(
+            {}, spec_hash=spec_hash, kind="run", cacheable=True
+        )
+        assert not coalesced_first
+        second, coalesced_second = jobs.submit(
+            {}, spec_hash=spec_hash, kind="run", cacheable=True
+        )
+        # while the first job is active, the same hash coalesces onto it
+        assert coalesced_second and second.id == first.id
+        release.set()
+        deadline = threading.Event()
+        for _ in range(100):
+            if first.status == "done":
+                break
+            deadline.wait(0.05)
+        assert first.status == "done"
+        assert spec_hash in store
+        # once settled, a resubmission is a cache hit, not a new job
+        third, coalesced_third = jobs.submit(
+            {}, spec_hash=spec_hash, kind="run", cacheable=True
+        )
+        assert not coalesced_third and third.id != first.id
+    finally:
+        release.set()
+        jobs.shutdown()
+
+
+def test_non_cacheable_submissions_never_coalesce(tmp_path, monkeypatch):
+    from repro.serve import worker
+
+    release = threading.Event()
+    monkeypatch.setattr(
+        worker,
+        "execute_job",
+        lambda payload, job_dir, *, progress_interval=2.0: (
+            release.wait(timeout=30.0),
+            {"spec_hash": "cd" * 32, "kind": "result"},
+        )[1],
+    )
+    store = ResultStore(tmp_path / "store")
+    jobs = JobManager(store, tmp_path, max_workers=2, mode="thread")
+    try:
+        first, _ = jobs.submit(
+            {}, spec_hash="cd" * 32, kind="run", cacheable=False
+        )
+        second, coalesced = jobs.submit(
+            {}, spec_hash="cd" * 32, kind="run", cacheable=False
+        )
+        assert not coalesced and second.id != first.id
+    finally:
+        release.set()
+        jobs.shutdown()
+
+
+# ------------------------------------------------------------ HTTP daemon
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    httpd = make_server(
+        ServeConfig(
+            port=0, root=tmp_path / "serve", job_mode="thread", max_jobs=2
+        )
+    )
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    client = ServeClient(f"http://127.0.0.1:{httpd.server_address[1]}")
+    yield client, httpd
+    shutdown_server(httpd)
+    thread.join(timeout=5.0)
+
+
+class TestDaemon:
+    def test_health(self, daemon):
+        client, _httpd = daemon
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["store_documents"] == 0
+
+    def test_miss_then_hit_byte_identical(self, daemon):
+        client, _httpd = daemon
+        first = client.submit_and_wait(FAST_PAYLOAD, timeout=60.0)
+        assert first["status"] == "accepted"
+        reference = client.result_bytes(first["spec_hash"])
+
+        second = client.submit(FAST_PAYLOAD)
+        assert second["status"] == "cached"
+        assert client.result_bytes(second["spec_hash"]) == reference
+
+        metrics = client.metrics_text()
+        assert "serve_cache_hits_total 1" in metrics
+        assert "serve_cache_misses_total 1" in metrics
+
+    def test_unseeded_specs_are_never_cached(self, daemon):
+        client, _httpd = daemon
+        payload = {**FAST_PAYLOAD, "seed": None}
+        first = client.submit_and_wait(payload, timeout=60.0)
+        assert first["status"] == "accepted"
+        assert first["result"] is not None
+        # the result exists on the job, but a resubmission simulates anew
+        second = client.submit(payload)
+        assert second["status"] == "accepted"
+        client.wait(second["job"]["id"], timeout=60.0)
+
+    def test_invalid_spec_is_a_400(self, daemon):
+        client, _httpd = daemon
+        with pytest.raises(ServeError, match="HTTP 400"):
+            client.submit({**FAST_PAYLOAD, "protocol": {"name": "nope"}})
+        with pytest.raises(ServeError, match="HTTP 400"):
+            client.submit({"kind": "run"})
+
+    def test_unknown_routes_are_404(self, daemon):
+        client, _httpd = daemon
+        with pytest.raises(ServeError, match="HTTP 404"):
+            client.job("job-does-not-exist")
+        with pytest.raises(ServeError, match="HTTP 404"):
+            client.result_bytes("0" * 64)
+        with pytest.raises(ServeError, match="HTTP 404"):
+            client._request("GET", "/no/such/route")
+
+    def test_progress_serves_the_job_journal(self, daemon):
+        client, _httpd = daemon
+        response = client.submit(FAST_PAYLOAD)
+        job_id = response["job"]["id"]
+        client.wait(job_id, timeout=60.0)
+        records = list(client.progress(job_id))
+        events = {record.get("event") for record in records}
+        assert "journal.open" in events
+        assert any(record.get("span") == "engine.run" for record in records)
+
+    def test_job_status_carries_result_when_done(self, daemon):
+        client, _httpd = daemon
+        response = client.submit(FAST_PAYLOAD)
+        final = client.wait(response["job"]["id"], timeout=60.0)
+        assert final["result"]["spec_hash"] == response["spec_hash"]
+        assert final["result"]["kind"] == "result"
+
+
+def test_process_mode_smoke(tmp_path):
+    """The production configuration: jobs in spawned worker processes."""
+    httpd = make_server(
+        ServeConfig(
+            port=0, root=tmp_path / "serve", job_mode="process", max_jobs=1
+        )
+    )
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        client = ServeClient(f"http://127.0.0.1:{httpd.server_address[1]}")
+        first = client.submit_and_wait(FAST_PAYLOAD, timeout=120.0)
+        assert first["status"] == "accepted"
+        assert client.submit(FAST_PAYLOAD)["status"] == "cached"
+        document = json.loads(
+            client.result_bytes(first["spec_hash"]).decode("utf-8")
+        )
+        assert document["outcome"]["stabilized"] is True
+    finally:
+        shutdown_server(httpd)
+        thread.join(timeout=5.0)
+
+
+def test_client_reports_unreachable_server():
+    client = ServeClient("http://127.0.0.1:9", timeout=2.0)
+    with pytest.raises(ServeError, match="could not reach"):
+        client.health()
