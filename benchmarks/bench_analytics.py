@@ -1,0 +1,98 @@
+"""Benchmark ``analytics-scan``: fleet export and query throughput.
+
+Prices the PR-10 pipeline end to end: a fleet of small persisted runs
+is exported into one partitioned dataset, then queried — the
+summary-backed hitting-time scan (runs/s) and the trajectory-backed
+undecided-envelope scan (rows/s).  Numbers land in
+``benchmarks/results/history/`` next to the other throughput series,
+so a future PR that fattens the per-fragment overhead shows up as a
+falling ``envelope_rows_per_s`` trajectory.
+
+Fragments use parquet when pyarrow is installed and the npz reference
+codec otherwise; the recorded ``fragment_format`` keeps the two
+regimes from being compared against each other.
+
+``BENCH_SMOKE=1`` shrinks the fleet (and records under
+``analytics-scan-smoke``), like the other benchmarks.
+"""
+
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from history import record_benchmark
+
+from repro import Configuration, analytics, simulate
+from repro.protocols import UndecidedStateDynamics
+
+BENCH_SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+FLEET_RUNS = 12 if BENCH_SMOKE else 60
+POPULATION = 300 if BENCH_SMOKE else 600
+
+
+def _build_fleet(root: Path) -> None:
+    for index in range(FLEET_RUNS):
+        k = 2 + index % 3
+        protocol = UndecidedStateDynamics(k=k)
+        initial = Configuration.equal_minorities_with_bias(
+            n=POPULATION, k=k, bias=POPULATION // 10
+        )
+        simulate(
+            protocol,
+            initial,
+            engine="counts",
+            seed=1000 + index,
+            max_parallel_time=600.0,
+            snapshot_every=13,
+            persist_to=root / f"run-{index:03d}",
+            persist_chunk_snapshots=64,
+            persist_window=16,
+        )
+
+
+def test_analytics_scan(benchmark):
+    fragment_format = "parquet" if analytics.pyarrow_available() else "npz"
+
+    def run():
+        metrics = {"fleet_runs": FLEET_RUNS}
+        with tempfile.TemporaryDirectory() as tmp:
+            runs_root = Path(tmp) / "runs"
+            _build_fleet(runs_root)
+            dest = Path(tmp) / "dataset"
+            started = time.perf_counter()
+            report = analytics.export_dataset(
+                dest, runs_roots=[runs_root], format=fragment_format
+            )
+            export_seconds = max(time.perf_counter() - started, 1e-9)
+            assert report.exported == FLEET_RUNS and not report.skipped
+            metrics["total_rows"] = report.rows
+            metrics["export_runs_per_s"] = round(FLEET_RUNS / export_seconds, 2)
+            ds = analytics.dataset(dest)
+            started = time.perf_counter()
+            answer = ds.query().hitting_time_quantiles((0.5, 0.9, 0.99))
+            summary_seconds = max(time.perf_counter() - started, 1e-9)
+            assert answer["runs"] == FLEET_RUNS
+            metrics["query_runs_per_s"] = round(FLEET_RUNS / summary_seconds, 2)
+            started = time.perf_counter()
+            envelope = ds.query().undecided_envelope(grid_points=50)
+            scan_seconds = max(time.perf_counter() - started, 1e-9)
+            assert envelope["runs"] == FLEET_RUNS
+            metrics["envelope_rows_per_s"] = round(report.rows / scan_seconds)
+            metrics["envelope_runs_per_s"] = round(FLEET_RUNS / scan_seconds, 2)
+        return metrics
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_benchmark(
+        "analytics-scan-smoke" if BENCH_SMOKE else "analytics-scan",
+        {**metrics, "fragment_format": fragment_format},
+    )
+    print()
+    print(
+        f"fleet {metrics['fleet_runs']} runs / {metrics['total_rows']} rows "
+        f"[{fragment_format}]: "
+        f"export {metrics['export_runs_per_s']}/s, "
+        f"summary query {metrics['query_runs_per_s']}/s, "
+        f"envelope scan {metrics['envelope_rows_per_s']} rows/s"
+    )
+    assert metrics["envelope_rows_per_s"] > 0

@@ -35,9 +35,20 @@ Subcommands
     events, ``export`` renders the metric snapshot in the Prometheus
     text format.  Journals and metric snapshots are written by runs
     executed with ``--obs`` (or an ``ObsConfig`` on the spec).
-``repro trace export <RUN_DIR> --to FILE.npz [--every N] [--start T] [--stop T]``
+``repro trace export <RUN_DIR> --to FILE [--format npz|arrow|parquet] [--every N] [--start T] [--stop T]``
     Materialize a streamed run (optionally windowed / downsampled) into
-    a single ``.npz`` trace readable with ``repro.io.load_trace``.
+    a single trace file: ``.npz`` readable with ``repro.io.load_trace``
+    (the default), or a columnar arrow/parquet file (needs pyarrow).
+``repro trace dataset <DEST> --runs DIR [--runs DIR ...] [--store DIR] [--format FMT]``
+    Export every persisted run under the given roots (plus a serve
+    result store's run documents) into one partitioned columnar
+    dataset.  Incremental: re-running skips unchanged runs without
+    rewriting their fragments.
+``repro trace query <DATASET> --ask QUESTION [--protocol P] [--n N] [--json] [...]``
+    Answer a fleet-scale question over an exported dataset in one
+    columnar scan: ``hitting-quantiles`` (``--unit
+    interactions|parallel``), ``undecided-envelope`` (``--grid N``),
+    ``winners``, ``throughput``.
 ``repro fig1 [--full] [--panel left|right]``
     Shortcut for the Figure 1 reproduction (``--full`` uses the paper's
     n = 10⁶ instead of the default 10⁵).
@@ -50,12 +61,13 @@ Subcommands
     (``merged.json`` + ``provenance.json``) and print the report.
 ``repro sweep status <id> --out DIR [...]``
     Show which grid points are done, missing, and who computed them.
-``repro serve [--host H] [--port P] [--root DIR] [--runs DIR ...] [--jobs N] [--inline]``
+``repro serve [--host H] [--port P] [--root DIR] [--runs DIR ...] [--jobs N] [--max-jobs N] [--inline]``
     Run the simulation-as-a-service daemon: accept spec documents over
     HTTP, answer repeated submissions from a spec-hash result cache,
     schedule the rest on a bounded pool of spawned worker processes.
     ``--runs`` seeds the cache from persisted run directories;
-    ``--port 0`` picks an ephemeral port.
+    ``--port 0`` picks an ephemeral port; ``--max-jobs`` bounds how
+    many settled jobs (and their directories) are retained.
 ``repro submit FILE --server URL [--set dotted.key=value ...] [--wait]``
     Submit a scenario file to a running daemon; ``--wait`` blocks until
     the result document is available (cached answers return instantly).
@@ -303,15 +315,30 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("run_dir", type=Path, help="run directory with manifest.json")
     export = trace_commands.add_parser(
         "export",
-        help="materialize a streamed run into a single .npz Trace file",
+        help=(
+            "materialize a streamed run into a single trace file "
+            "(.npz, or columnar arrow/parquet)"
+        ),
     )
     export.add_argument("run_dir", type=Path, help="run directory with manifest.json")
     export.add_argument(
         "--to",
         type=Path,
         required=True,
-        metavar="FILE.npz",
-        help="output path (readable with repro.io.load_trace)",
+        metavar="FILE",
+        help=(
+            "output path (.npz readable with repro.io.load_trace; "
+            "arrow/parquet with repro.analytics.read_columnar)"
+        ),
+    )
+    export.add_argument(
+        "--format",
+        default="npz",
+        metavar="FMT",
+        help=(
+            "output format: npz (default), arrow or parquet "
+            "(columnar formats need pyarrow)"
+        ),
     )
     export.add_argument(
         "--every",
@@ -333,6 +360,92 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="T",
         help="keep snapshots up to interaction time T",
+    )
+    trace_dataset = trace_commands.add_parser(
+        "dataset",
+        help=(
+            "export many persisted runs into one partitioned columnar "
+            "dataset (incremental: unchanged runs are not rewritten)"
+        ),
+    )
+    trace_dataset.add_argument(
+        "dest", type=Path, help="dataset directory (created if missing)"
+    )
+    trace_dataset.add_argument(
+        "--runs",
+        type=Path,
+        action="append",
+        default=[],
+        metavar="DIR",
+        help=(
+            "root to scan for persisted run directories "
+            "(repeatable; sweep/ensemble roots work)"
+        ),
+    )
+    trace_dataset.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "a 'repro serve' result-store root; its run documents "
+            "join the dataset as summary-only records"
+        ),
+    )
+    trace_dataset.add_argument(
+        "--format",
+        default=None,
+        metavar="FMT",
+        help=(
+            "fragment format: parquet, arrow or npz (default: parquet "
+            "with pyarrow installed, npz otherwise); an existing "
+            "dataset keeps its recorded format"
+        ),
+    )
+    trace_query = trace_commands.add_parser(
+        "query",
+        help=(
+            "answer a fleet-scale question over an exported dataset "
+            "in one columnar scan"
+        ),
+    )
+    trace_query.add_argument(
+        "dataset", type=Path, help="dataset directory (from 'repro trace dataset')"
+    )
+    trace_query.add_argument(
+        "--ask",
+        required=True,
+        metavar="QUESTION",
+        help="one of: hitting-quantiles, undecided-envelope, winners, throughput",
+    )
+    trace_query.add_argument(
+        "--quantiles",
+        default=None,
+        metavar="Q,Q,...",
+        help="comma-separated quantiles (hitting-quantiles / envelope)",
+    )
+    trace_query.add_argument(
+        "--unit",
+        default="interactions",
+        metavar="UNIT",
+        help="hitting-time unit: interactions (default) or parallel",
+    )
+    trace_query.add_argument(
+        "--grid",
+        type=int,
+        default=50,
+        metavar="N",
+        help="time-grid points for the undecided envelope (default 50)",
+    )
+    trace_query.add_argument("--protocol", default=None, help="filter: protocol name")
+    trace_query.add_argument("--n", type=int, default=None, help="filter: population")
+    trace_query.add_argument("--spec-hash", default=None, help="filter: spec hash")
+    trace_query.add_argument("--engine", default=None, help="filter: engine name")
+    trace_query.add_argument("--backend", default=None, help="filter: kernel backend")
+    trace_query.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full answer as JSON (machine-readable)",
     )
 
     obs = commands.add_parser(
@@ -527,6 +640,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         metavar="N",
         help="simulations in flight at once (default 2)",
+    )
+    serve.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "settled (done/failed) jobs to retain; older ones are "
+            "evicted — dropped from the status endpoint, their job "
+            "directories deleted (default: keep everything)"
+        ),
     )
     serve.add_argument(
         "--inline",
@@ -1011,6 +1135,12 @@ def _run_sweep_command(args: Any) -> None:
 
 
 def _run_trace_command(args: Any) -> None:
+    if args.trace_command == "dataset":
+        _run_trace_dataset(args)
+        return
+    if args.trace_command == "query":
+        _run_trace_query(args)
+        return
     from .io.streaming import StreamedTrace
 
     stream = StreamedTrace(args.run_dir)
@@ -1050,18 +1180,145 @@ def _run_trace_command(args: Any) -> None:
                 print("  where the time went (obs metrics):")
                 print(format_summary(obs_snapshot, indent="    "))
     else:  # export
+        from .analytics import codec as trace_codec
+
+        fmt = trace_codec.check_format(args.format)
         if args.every < 1:
             raise ReproError(f"--every must be >= 1, got {args.every}")
         start = float("-inf") if args.start is None else args.start
         stop = float("inf") if args.stop is None else args.stop
         trace = stream.time_slice(start, stop, every=args.every)
-        from .io.serialization import save_trace
+        if fmt == "npz":
+            from .io.serialization import save_trace
 
-        save_trace(trace, args.to)
+            save_trace(trace, args.to)
+        else:
+            run_info = dict(stream.run_info)
+            run_info["summary"] = stream.summary
+            spec_hash = run_info.get("spec_hash")
+            identity = trace_codec.run_identity(
+                run_info, run_key=spec_hash or str(args.run_dir.name)
+            )
+            whole = args.every == 1 and args.start is None and args.stop is None
+            chunks = (
+                stream.iter_chunks()
+                if whole
+                else iter([(trace.times, trace.counts)])
+            )
+            trace_codec.write_columnar(
+                args.to,
+                chunks,
+                identity=identity,
+                run_info=run_info,
+                undecided_index=stream.undecided_index,
+                format=fmt,
+            )
         print(
-            f"wrote {args.to} ({len(trace)} of {len(stream)} snapshots, "
-            f"every {args.every})"
+            f"wrote {args.to} [{fmt}] ({len(trace)} of {len(stream)} "
+            f"snapshots, every {args.every})"
         )
+
+
+def _run_trace_dataset(args: Any) -> None:
+    from .analytics import export_dataset
+
+    if not args.runs and args.store is None:
+        raise ReproError(
+            "nothing to export: give at least one --runs root or a --store"
+        )
+    skips: list = []
+    report = export_dataset(
+        args.dest,
+        runs_roots=args.runs,
+        store=args.store,
+        format=args.format,
+        on_skip=lambda path, reason: skips.append((path, reason)),
+    )
+    print(
+        f"dataset {args.dest} [{report.fragment_format}]: "
+        f"{report.exported} exported ({report.rows} rows), "
+        f"{report.unchanged} unchanged, {report.summary_only} summary-only, "
+        f"{len(report.skipped)} skipped"
+    )
+    for path, reason in report.skipped:
+        print(f"  skipped {path}: {reason}")
+
+
+def _run_trace_query(args: Any) -> None:
+    import json
+
+    from .analytics import dataset as open_dataset
+
+    ds = open_dataset(args.dataset)
+    query = ds.query(
+        protocol=args.protocol,
+        n=args.n,
+        spec_hash=args.spec_hash,
+        engine=args.engine,
+        backend=args.backend,
+    )
+    options: Dict[str, Any] = {}
+    if args.ask in ("hitting-quantiles", "undecided-envelope"):
+        if args.quantiles is not None:
+            try:
+                quantiles = tuple(
+                    float(part) for part in args.quantiles.split(",") if part
+                )
+            except ValueError:
+                raise ReproError(
+                    f"--quantiles must be comma-separated numbers, "
+                    f"got {args.quantiles!r}"
+                ) from None
+            options["quantiles"] = quantiles
+    if args.ask == "hitting-quantiles":
+        options["unit"] = args.unit
+    if args.ask == "undecided-envelope":
+        options["grid_points"] = args.grid
+    answer = query.ask(args.ask, **options)
+    if ds.skipped:
+        answer["fragment_skips"] = [list(item) for item in ds.skipped]
+    if args.json:
+        print(json.dumps(answer, sort_keys=True))
+        return
+    print(f"{args.ask} over {len(query)} of {len(ds)} runs in {args.dataset}")
+    _print_query_answer(args.ask, answer)
+    for path, reason in ds.skipped:
+        print(f"  skipped fragment {path}: {reason}")
+
+
+def _print_query_answer(ask: str, answer: Dict[str, Any]) -> None:
+    if ask == "hitting-quantiles":
+        print(
+            f"  stabilized {answer['stabilized']}, "
+            f"unstabilized {answer['unstabilized']} [{answer['unit']}]"
+        )
+        for q, value in answer["quantiles"].items():
+            print(f"  q{q:<6} {value:.6g}")
+    elif ask == "undecided-envelope":
+        print(
+            f"  {answer['runs']} trajectories on a {len(answer['grid'])}-point "
+            f"grid ({answer['excluded']} excluded, {answer['skipped']} skipped)"
+        )
+        grid = answer["grid"]
+        for q, band in answer["quantiles"].items():
+            head = ", ".join(f"{v:.4f}" for v in band[:6])
+            more = " ..." if len(band) > 6 else ""
+            print(f"  q{q:<6} [{head}{more}]")
+        if grid:
+            print(f"  grid spans 0 .. {grid[-1]:.6g} interactions")
+    elif ask == "winners":
+        for winner, count in answer["winners"].items():
+            print(f"  winner {winner:<10} {count}")
+        for engine, count in answer["by_engine"].items():
+            print(f"  engine {engine:<10} {count}")
+    elif ask == "throughput":
+        for group, row in answer["groups"].items():
+            rate = row["interactions_per_second"]
+            rate_text = "n/a" if rate is None else f"{rate:,.0f}/s"
+            print(
+                f"  {group:<20} {row['runs']} runs, "
+                f"{row['interactions']:.0f} interactions, {rate_text}"
+            )
 
 
 def _manifest_obs_metrics(run_dir: Path) -> Optional[Dict[str, Any]]:
@@ -1156,6 +1413,7 @@ def _run_serve_command(args: Any) -> None:
             max_jobs=args.jobs,
             job_mode="thread" if args.inline else "process",
             progress_interval=args.progress_interval,
+            max_retained_jobs=args.max_jobs,
         )
     )
 

@@ -101,6 +101,18 @@ class ServeError(ReproError):
     """
 
 
+class AnalyticsError(ReproError):
+    """The columnar analytics layer (``repro.analytics``) failed.
+
+    Raised e.g. when a columnar export format needs ``pyarrow`` and it
+    is not installed, when a dataset directory holds no (or a
+    newer-versioned) dataset manifest, or when an export would mix
+    fragment formats inside one dataset.  *Not* raised for corrupt
+    individual inputs — unreadable run directories and truncated
+    fragments are skipped with recorded reasons, never fatal to a scan.
+    """
+
+
 class SpecError(ReproError, ValueError):
     """A declarative run/ensemble/sweep spec is invalid or inconsistent.
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import itertools
 import json
 import multiprocessing
+import shutil
 import threading
 import time
 from dataclasses import dataclass, field
@@ -86,6 +87,7 @@ class JobManager:
         max_workers: int = 2,
         mode: str = "process",
         progress_interval: float = 2.0,
+        max_retained_jobs: Optional[int] = None,
     ) -> None:
         if mode not in ("process", "thread"):
             raise ServeError(
@@ -95,12 +97,17 @@ class JobManager:
             raise ServeError(
                 f"max_workers must be at least 1, got {max_workers}"
             )
+        if max_retained_jobs is not None and max_retained_jobs < 1:
+            raise ServeError(
+                f"max_retained_jobs must be at least 1, got {max_retained_jobs}"
+            )
         self.store = store
         self.root = Path(root)
         self.jobs_dir = self.root / "jobs"
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
         self.mode = mode
         self.progress_interval = float(progress_interval)
+        self.max_retained_jobs = max_retained_jobs
         self._slots = threading.BoundedSemaphore(max_workers)
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
@@ -201,6 +208,45 @@ class JobManager:
                 obs_emit(
                     "serve.job_finished", job=job.id, status=job.status
                 )
+                self._evict_settled()
+
+    def _evict_settled(self) -> None:
+        """Drop the oldest settled jobs beyond ``max_retained_jobs``.
+
+        Without a bound, the jobs dict and the per-job directories grow
+        for the daemon's lifetime.  With one, every time a job settles
+        the oldest-finished done/failed jobs past the bound are
+        forgotten — removed from the status endpoint and their
+        directories deleted.  Active (queued/running) jobs are never
+        evicted, so the bound is on *retained history*, not on
+        concurrency.  Cacheable results live on in the result store;
+        eviction only drops the job-lifecycle view (and with it the
+        job-dir copy non-cacheable results rely on).
+        """
+        if self.max_retained_jobs is None:
+            return
+        with self._lock:
+            settled = [
+                job
+                for job in self._jobs.values()
+                if job.status in ("done", "failed")
+            ]
+            excess = len(settled) - self.max_retained_jobs
+            if excess <= 0:
+                return
+            settled.sort(key=lambda job: job.finished or job.created)
+            evicted = settled[:excess]
+            for job in evicted:
+                del self._jobs[job.id]
+        for job in evicted:
+            shutil.rmtree(job.dir, ignore_errors=True)
+            obs_metrics.REGISTRY.inc("serve_jobs_evicted_total")
+            obs_emit(
+                "serve.job_evicted",
+                job=job.id,
+                status=job.status,
+                spec_hash=job.spec_hash,
+            )
 
     def _run_in_thread(self, job: Job, payload: Dict[str, Any]) -> None:
         try:

@@ -36,7 +36,7 @@ import json
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Dict, Mapping, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from ..errors import SpecError
@@ -61,6 +61,9 @@ class ServeConfig:
     max_jobs: int = 2
     job_mode: str = "process"
     progress_interval: float = 2.0
+    #: Settled (done/failed) jobs retained for the status endpoint;
+    #: ``None`` keeps everything (the pre-eviction behavior).
+    max_retained_jobs: Optional[int] = None
 
 
 def _cacheable(spec: Any) -> bool:
@@ -103,6 +106,7 @@ class ServeApp:
             max_workers=config.max_jobs,
             mode=config.job_mode,
             progress_interval=config.progress_interval,
+            max_retained_jobs=config.max_retained_jobs,
         )
         # the registry stays on for the daemon's lifetime: /metrics is
         # only as live as the counters behind it

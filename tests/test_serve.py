@@ -212,6 +212,126 @@ def test_non_cacheable_submissions_never_coalesce(tmp_path, monkeypatch):
         jobs.shutdown()
 
 
+def _wait_settled(job, *, timeout=10.0):
+    gate = threading.Event()
+    for _ in range(int(timeout / 0.02)):
+        if job.status in ("done", "failed"):
+            return
+        gate.wait(0.02)
+    raise AssertionError(f"job {job.id} never settled (status {job.status})")
+
+
+def test_settled_jobs_evicted_beyond_retention_bound(tmp_path, monkeypatch):
+    from repro.serve import worker
+
+    monkeypatch.setattr(
+        worker,
+        "execute_job",
+        lambda payload, job_dir, *, progress_interval=2.0: {
+            "spec_hash": "ee" * 32,
+            "kind": "result",
+        },
+    )
+    store = ResultStore(tmp_path / "store")
+    jobs = JobManager(
+        store, tmp_path, max_workers=1, mode="thread", max_retained_jobs=2
+    )
+    try:
+        settled = []
+        for index in range(5):
+            job, _ = jobs.submit(
+                {"index": index},
+                spec_hash=f"{index:02d}" * 32,
+                kind="run",
+                cacheable=False,
+            )
+            _wait_settled(job)
+            settled.append(job)
+        # the status flip precedes the evicting thread's cleanup by a
+        # hair: give the final eviction a moment to land
+        gate = threading.Event()
+        for _ in range(200):
+            if jobs.counts()["done"] == 2 and not settled[2].dir.exists():
+                break
+            gate.wait(0.02)
+        # only the two newest settled jobs survive: older ones vanish
+        # from the status view and their directories are deleted
+        assert jobs.counts()["done"] == 2
+        for job in settled[:3]:
+            assert jobs.get(job.id) is None
+            assert not job.dir.exists()
+        for job in settled[3:]:
+            assert jobs.get(job.id) is job
+            assert job.dir.exists()
+        job_dirs = [p for p in (tmp_path / "jobs").iterdir() if p.is_dir()]
+        assert len(job_dirs) == 2
+    finally:
+        jobs.shutdown()
+
+
+def test_eviction_counts_failed_jobs_and_records_metric(tmp_path, monkeypatch):
+    from repro.obs import metrics as obs_metrics
+    from repro.serve import worker
+
+    def failing_execute(payload, job_dir, *, progress_interval=2.0):
+        raise ServeError("synthetic job failure")
+
+    monkeypatch.setattr(worker, "execute_job", failing_execute)
+    store = ResultStore(tmp_path / "store")
+    jobs = JobManager(
+        store, tmp_path, max_workers=1, mode="thread", max_retained_jobs=1
+    )
+    obs_metrics.REGISTRY.activate()
+    try:
+        first, _ = jobs.submit({}, spec_hash="aa" * 32, kind="run", cacheable=False)
+        _wait_settled(first)
+        second, _ = jobs.submit({}, spec_hash="bb" * 32, kind="run", cacheable=False)
+        _wait_settled(second)
+        gate = threading.Event()
+        for _ in range(200):
+            counters = obs_metrics.REGISTRY.snapshot()["counters"]
+            if "serve_jobs_evicted_total" in counters:
+                break
+            gate.wait(0.02)
+        assert jobs.get(first.id) is None and not first.dir.exists()
+        assert jobs.get(second.id) is second
+        counters = obs_metrics.REGISTRY.snapshot()["counters"]
+        assert counters["serve_jobs_evicted_total"][""] == 1.0
+    finally:
+        obs_metrics.REGISTRY.deactivate()
+        jobs.shutdown()
+
+
+def test_unbounded_retention_keeps_every_settled_job(tmp_path, monkeypatch):
+    from repro.serve import worker
+
+    monkeypatch.setattr(
+        worker,
+        "execute_job",
+        lambda payload, job_dir, *, progress_interval=2.0: {
+            "spec_hash": "ff" * 32,
+            "kind": "result",
+        },
+    )
+    store = ResultStore(tmp_path / "store")
+    jobs = JobManager(store, tmp_path, max_workers=1, mode="thread")
+    try:
+        for index in range(4):
+            job, _ = jobs.submit(
+                {}, spec_hash=f"{index:02d}" * 32, kind="run", cacheable=False
+            )
+            _wait_settled(job)
+        assert jobs.counts()["done"] == 4
+    finally:
+        jobs.shutdown()
+
+
+def test_retention_bound_must_be_positive(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    with pytest.raises(ServeError, match="max_retained_jobs"):
+        JobManager(store, tmp_path, mode="thread", max_retained_jobs=0)
+
+
 # ------------------------------------------------------------ HTTP daemon
 
 
